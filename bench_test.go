@@ -1,0 +1,176 @@
+package xqview
+
+// One benchmark per measured figure of the dissertation's evaluation: each
+// regenerates its figure's data series (internal/bench prints the same rows
+// via cmd/xbench). Micro-benchmarks for the engine kernels follow.
+
+import (
+	"fmt"
+	"testing"
+
+	"xqview/internal/bench"
+	"xqview/internal/core"
+	"xqview/internal/update"
+	"xqview/internal/xmark"
+	"xqview/internal/xmldoc"
+)
+
+// benchScale keeps figure sweeps fast enough for b.N iterations.
+const benchScale = 0.05
+
+func benchFigure(b *testing.B, run func(float64) (*bench.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := run(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Rows) == 0 {
+			b.Fatalf("%s produced no rows", f.ID)
+		}
+	}
+}
+
+func BenchmarkFig3_7_OrderCostQ1(b *testing.B)   { benchFigure(b, bench.Fig3_7) }
+func BenchmarkFig3_8_OrderCostQ2(b *testing.B)   { benchFigure(b, bench.Fig3_8) }
+func BenchmarkFig3_9_OrderCostQ3(b *testing.B)   { benchFigure(b, bench.Fig3_9) }
+func BenchmarkFig3_10_OrderCostQ4(b *testing.B)  { benchFigure(b, bench.Fig3_10) }
+func BenchmarkFig4_9_SemanticIDsQ1(b *testing.B) { benchFigure(b, bench.Fig4_9) }
+func BenchmarkFig4_10_SemanticIDsQ2(b *testing.B) {
+	benchFigure(b, bench.Fig4_10)
+}
+func BenchmarkFig9_1_EnableMaintenance(b *testing.B) { benchFigure(b, bench.Fig9_1) }
+func BenchmarkFig9_2_DocumentSizes(b *testing.B)     { benchFigure(b, bench.Fig9_2) }
+func BenchmarkFig9_3_Selectivity(b *testing.B)       { benchFigure(b, bench.Fig9_3) }
+func BenchmarkFig9_4_InsertSizes(b *testing.B)       { benchFigure(b, bench.Fig9_4) }
+func BenchmarkFig9_5_DeleteSizes(b *testing.B)       { benchFigure(b, bench.Fig9_5) }
+func BenchmarkFig9_6_FragmentDelete(b *testing.B)    { benchFigure(b, bench.Fig9_6) }
+func BenchmarkAblationDesignChoices(b *testing.B)    { benchFigure(b, bench.Ablation) }
+
+// --- engine kernels ---
+
+func benchBibStore(b *testing.B, n int) *xmldoc.Store {
+	b.Helper()
+	s, err := xmark.LoadBib(xmark.DefaultBib(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkMaterializeFlat(b *testing.B) {
+	s := benchBibStore(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewView(s, bench.BibQ1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaterializeGroupedJoin(b *testing.B) {
+	s := benchBibStore(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewView(s, bench.BibQ2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaintainInsert(b *testing.B) {
+	benchMaintain(b, func(s *xmldoc.Store, i int) []*update.Primitive {
+		bib, _ := s.RootElem("bib.xml")
+		return []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+			Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1991"),
+				xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("bench-%d", i))))}}
+	})
+}
+
+func BenchmarkMaintainDelete(b *testing.B) {
+	benchMaintain(b, func(s *xmldoc.Store, i int) []*update.Primitive {
+		bib, _ := s.RootElem("bib.xml")
+		books := xmldoc.ChildElems(s, bib, "book")
+		if len(books) == 0 {
+			b.Skip("ran out of books")
+		}
+		return []*update.Primitive{{Kind: update.Delete, Doc: "bib.xml", Key: books[0]}}
+	})
+}
+
+func BenchmarkMaintainModify(b *testing.B) {
+	benchMaintain(b, func(s *xmldoc.Store, i int) []*update.Primitive {
+		prices, _ := s.RootElem("prices.xml")
+		entries := xmldoc.ChildElems(s, prices, "entry")
+		pr := xmldoc.ChildElems(s, entries[i%len(entries)], "price")
+		texts := xmldoc.TextChildren(s, pr[0])
+		return []*update.Primitive{{Kind: update.Replace, Doc: "prices.xml",
+			Key: texts[0], NewValue: fmt.Sprintf("%d.00", i%90+10)}}
+	})
+}
+
+func benchMaintain(b *testing.B, mk func(*xmldoc.Store, int) []*update.Primitive) {
+	b.Helper()
+	s := benchBibStore(b, 500)
+	v, err := core.NewView(s, bench.BibQ2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.ApplyUpdates(mk(s, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecomputeBaseline(b *testing.B) {
+	s := benchBibStore(b, 500)
+	bib, _ := s.RootElem("bib.xml")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+			Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1991"),
+				xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("bench-%d", i))))}}
+		if _, err := core.Recompute(s, bench.BibQ2, prims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMarkGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := xmark.LoadSite(xmark.DefaultSite(500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelfMaintainableScaling demonstrates the headline property of
+// self-maintainable views (Sec 1.4): refresh time stays flat as the source
+// document grows, because no base state is re-derived.
+func BenchmarkSelfMaintainableScaling(b *testing.B) {
+	for _, n := range []int{250, 1000, 4000} {
+		n := n
+		b.Run(fmt.Sprintf("books=%d", n), func(b *testing.B) {
+			s := benchBibStore(b, n)
+			v, err := core.NewView(s, bench.BibQ1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.Plan.SelfMaintainable() {
+				b.Fatal("Q1 should be self-maintainable")
+			}
+			bib, _ := s.RootElem("bib.xml")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+					Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1991"),
+						xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("s-%d", i))))}}
+				if _, err := v.ApplyUpdates(prims); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+// Command xmarkgen generates the synthetic datasets used by the experiment
+// harness: the XMark-style auction site document (Fig 3.5) and the
+// bib/prices pair of the running example.
+//
+// Usage:
+//
+//	xmarkgen -kind site -n 1000 > site.xml
+//	xmarkgen -kind bib -n 500 -selectivity 0.5 -out bib.xml -out2 prices.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xqview/internal/xmark"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xmarkgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "site", "dataset kind: site | bib")
+	n := fs.Int("n", 1000, "scale (persons for site, books for bib)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	selectivity := fs.Float64("selectivity", 1.0, "bib only: fraction of books with a matching price entry")
+	out := fs.String("out", "", "output file (site.xml or bib.xml; default stdout)")
+	out2 := fs.String("out2", "", "bib only: output file for prices.xml (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	write := func(path, data string) error {
+		if path == "" {
+			_, err := fmt.Fprintln(stdout, data)
+			return err
+		}
+		return os.WriteFile(path, []byte(data), 0o644)
+	}
+	switch *kind {
+	case "site":
+		cfg := xmark.DefaultSite(*n)
+		cfg.Seed = *seed
+		return write(*out, xmark.Site(cfg).String())
+	case "bib":
+		cfg := xmark.DefaultBib(*n)
+		cfg.Seed = *seed
+		cfg.Selectivity = *selectivity
+		if err := write(*out, xmark.Bib(cfg).String()); err != nil {
+			return err
+		}
+		return write(*out2, xmark.Prices(cfg).String())
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSiteToStdout(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "site", "-n", "5"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<people>") || !strings.Contains(out.String(), "<closed_auctions>") {
+		t.Fatalf("site output: %.200s", out.String())
+	}
+}
+
+func TestRunBibToFiles(t *testing.T) {
+	dir := t.TempDir()
+	bib := filepath.Join(dir, "bib.xml")
+	prices := filepath.Join(dir, "prices.xml")
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "bib", "-n", "4", "-selectivity", "0.5",
+		"-out", bib, "-out2", prices}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(bib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(b), "<book") != 4 {
+		t.Fatalf("bib: %s", b)
+	}
+	p, err := os.ReadFile(prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(p), "Unmatched") != 2 {
+		t.Fatalf("prices selectivity: %s", p)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-kind", "nope"}, &out, &errw); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

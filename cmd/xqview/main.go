@@ -1,0 +1,110 @@
+// Command xqview evaluates XQuery views over XML documents and maintains
+// them incrementally under XQuery updates.
+//
+// Usage:
+//
+//	xqview -doc name=file.xml [-doc name2=file2.xml ...] -query query.xq \
+//	       [-updates updates.xqu] [-plan] [-sapt] [-report] [-pretty]
+//
+// The view is materialized and printed. With -updates, the update script is
+// applied through the VPA pipeline and the refreshed view is printed; with
+// -report, the maintenance breakdown is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xqview"
+)
+
+type docFlags []string
+
+func (d *docFlags) String() string { return strings.Join(*d, ",") }
+func (d *docFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("expected name=file, got %q", v)
+	}
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "xqview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xqview", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var docs docFlags
+	fs.Var(&docs, "doc", "document to load, as name=file.xml (repeatable)")
+	queryFile := fs.String("query", "", "file holding the XQuery view definition")
+	updatesFile := fs.String("updates", "", "file holding XQuery update statements (optional)")
+	showPlan := fs.Bool("plan", false, "print the compiled algebra plan to stderr")
+	showSAPT := fs.Bool("sapt", false, "print the source access pattern tree to stderr")
+	report := fs.Bool("report", false, "print the maintenance report to stderr")
+	pretty := fs.Bool("pretty", false, "indent the printed view")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(docs) == 0 || *queryFile == "" {
+		fs.Usage()
+		return fmt.Errorf("need at least one -doc and a -query")
+	}
+	db := xqview.NewDatabase()
+	for _, d := range docs {
+		name, file, _ := strings.Cut(d, "=")
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		if err := db.LoadDocument(name, string(data)); err != nil {
+			return err
+		}
+	}
+	query, err := os.ReadFile(*queryFile)
+	if err != nil {
+		return err
+	}
+	v, err := db.CreateView(string(query))
+	if err != nil {
+		return err
+	}
+	if *showPlan {
+		fmt.Fprintln(stderr, v.PlanString())
+	}
+	if *showSAPT {
+		fmt.Fprintln(stderr, v.SAPTString())
+	}
+	render := func() string {
+		if *pretty {
+			return v.XMLIndent()
+		}
+		return v.XML()
+	}
+	if *updatesFile == "" {
+		fmt.Fprintln(stdout, render())
+		return nil
+	}
+	fmt.Fprintln(stderr, "-- initial extent --")
+	fmt.Fprintln(stderr, render())
+	script, err := os.ReadFile(*updatesFile)
+	if err != nil {
+		return err
+	}
+	rep, err := v.ApplyUpdates(string(script))
+	if err != nil {
+		return err
+	}
+	if *report {
+		fmt.Fprintln(stderr, rep)
+	}
+	fmt.Fprintln(stdout, render())
+	return nil
+}

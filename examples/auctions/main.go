@@ -1,0 +1,88 @@
+// Auctions maintains content-management style views over an XMark-like
+// auction site (the dissertation's experimental workload, Fig 3.5): a
+// per-city directory of members and a seller-activity report, kept fresh as
+// persons register, move and leave and as auctions close.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xqview"
+	"xqview/internal/xmark"
+)
+
+func main() {
+	db := xqview.NewDatabase()
+	site := xmark.Site(xmark.SiteConfig{Persons: 12, ClosedAuctions: 8, OpenAuctions: 4, Seed: 3})
+	if err := db.LoadDocument("site.xml", site.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	// View 1: members grouped by city (nested grouping with query order).
+	directory, err := db.CreateView(`
+<directory>{
+  for $c in distinct-values(doc("site.xml")/site/people/person/address/city)
+  order by $c
+  return <city name="{$c}">{
+    for $p in doc("site.xml")/site/people/person
+    where $c = $p/address/city
+    return <member>{$p/name/text()}</member>
+  }</city>
+}</directory>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// View 2: closed-auction dates per seller (a join view).
+	activity, err := db.CreateView(`
+<activity>{
+  for $p in doc("site.xml")/site/people/person,
+      $a in doc("site.xml")/site/closed_auctions/closed_auction
+  where $p/@id = $a/seller/@person
+  return <sale seller="{$p/name}">{$a/date}</sale>
+}</activity>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== directory ==")
+	fmt.Println(directory.XML())
+	fmt.Println("\n== seller activity ==")
+	fmt.Println(activity.XML())
+
+	// A new person registers in Worcester and an auction closes.
+	updates := `
+for $people in document("site.xml")/site/people
+update $people
+insert <person id="person999"><name>Grace Hopper</name><address><street>1 Elm</street><city>Worcester</city><country>United States</country></address><profile><gender>female</gender><business>Yes</business></profile></person> into $people
+
+for $ca in document("site.xml")/site/closed_auctions
+update $ca
+insert <closed_auction><seller person="person999"/><buyer person="person0"/><date>01/02/2006</date></closed_auction> into $ca
+`
+	// Database-level maintenance refreshes BOTH views from one batch: the
+	// updates are validated once against the union of the views' access
+	// patterns and propagated through each view's maintenance plan.
+	reports, err := db.ApplyUpdates(updates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== directory after registration ==")
+	fmt.Println(directory.XML())
+	fmt.Println("directory maintenance:", reports[0])
+	fmt.Println("\n== seller activity after the new sale ==")
+	fmt.Println(activity.XML())
+	fmt.Println("activity maintenance:", reports[1])
+
+	// A person leaves; again both views refresh incrementally.
+	if _, err := db.ApplyUpdates(`
+for $p in document("site.xml")/site/people/person
+where $p/@id = "person0"
+update $p
+delete $p`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== seller activity after person0 left ==")
+	fmt.Println(activity.XML())
+}

@@ -1,0 +1,54 @@
+// Quickstart: define a materialized XQuery view, update a source document,
+// and watch the view refresh incrementally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xqview"
+)
+
+func main() {
+	db := xqview.NewDatabase()
+	if err := db.LoadDocument("catalog.xml", `
+<catalog>
+  <product dept="tools"><name>Hammer</name><price>9.50</price></product>
+  <product dept="tools"><name>Saw</name><price>14.00</price></product>
+  <product dept="garden"><name>Rake</name><price>7.25</price></product>
+</catalog>`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A view listing tool names, ordered by name.
+	view, err := db.CreateView(`
+<tools>{
+  for $p in doc("catalog.xml")/catalog/product
+  where $p/@dept = "tools"
+  order by $p/name
+  return <tool>{$p/name/text()}</tool>
+}</tools>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial view:")
+	fmt.Println(" ", view.XML())
+
+	// Insert a product and delete another; the view is refreshed by
+	// propagating just these two updates — not by re-running the query.
+	report, err := view.ApplyUpdates(`
+for $c in document("catalog.xml")/catalog
+update $c
+insert <product dept="tools"><name>Chisel</name><price>5.00</price></product> into $c
+
+for $p in document("catalog.xml")/catalog/product
+where $p/name = "Saw"
+update $p
+delete $p`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after updates:")
+	fmt.Println(" ", view.XML())
+	fmt.Println("maintenance:", report)
+}

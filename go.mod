@@ -1,0 +1,3 @@
+module xqview
+
+go 1.22

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"xqview/internal/compile"
+	"xqview/internal/core"
+	"xqview/internal/xat"
+	"xqview/internal/xmark"
+	"xqview/internal/xmldoc"
+)
+
+// Ablation measures the contribution of individual design choices called
+// out in DESIGN.md by disabling them one at a time on a fixed maintenance
+// workload (the grouped/join view under a 25-pair insert batch):
+//
+//   - hash-accelerated joins (vs. nested loops);
+//   - region-pruned patch navigation (vs. whole-document scans);
+//   - the count-aware deep union's root disconnect is measured separately
+//     in Fig 9.6.
+func Ablation(scale float64) (*Figure, error) {
+	f := &Figure{
+		ID:      "Ablation",
+		Title:   "contribution of individual design choices (Q2, 25 inserted pairs)",
+		Columns: []string{"configuration", "incr_ms", "slowdown"},
+	}
+	n := scaled(800, scale)
+	run := func() (float64, error) {
+		mk := func() (*xmldoc.Store, error) { return xmark.LoadBib(xmark.DefaultBib(n)) }
+		s, err := mk()
+		if err != nil {
+			return 0, err
+		}
+		v, err := core.NewView(s, BibQ2)
+		if err != nil {
+			return 0, err
+		}
+		ms, err := v.ApplyUpdates(insertBatch(s, scaled(25, scale)))
+		if err != nil {
+			return 0, err
+		}
+		return float64(ms.Total.Microseconds()) / 1000.0, nil
+	}
+	base, err := run()
+	if err != nil {
+		return nil, err
+	}
+	f.Rows = append(f.Rows, []string{"full engine", fmt.Sprintf("%.3f", base), "1.0x"})
+
+	configs := []struct {
+		name string
+		set  func(bool)
+	}{
+		{"without hash joins", func(b bool) { xat.AblationNoJoinHash = b }},
+		{"without navigation pruning", func(b bool) { xat.AblationNoNavPruning = b }},
+		{"without minimum-schema pruning", func(b bool) { compile.NoOptimize = b }},
+	}
+	for _, cfg := range configs {
+		cfg.set(true)
+		t, err := run()
+		cfg.set(false)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, []string{cfg.name, fmt.Sprintf("%.3f", t),
+			fmt.Sprintf("%.1fx", t/base)})
+	}
+	return f, nil
+}

@@ -1,0 +1,202 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"xqview/internal/xat"
+)
+
+func TestSequenceExpressionXMLUnion(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		return <pair>{ ($b/author/last, $b/title) }</pair>
+	}</result>`)
+	// Sequence order: last before title, despite document order.
+	want := `<result>` +
+		`<pair><last>Stevens</last><title>TCP/IP Illustrated</title></pair>` +
+		`<pair><last>Abiteboul</last><title>Data on the Web</title></pair>` +
+		`</result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+	plan, err := Compile(`<r>{ for $b in doc("bib.xml")/bib/book return <p>{($b/title, $b/author)}</p> }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Find(xat.OpXMLUnion) == nil {
+		t.Fatalf("sequence should compile to XML Union:\n%s", plan.Dump())
+	}
+}
+
+func TestDescendantAxisView(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{ for $l in doc("bib.xml")//last return $l }</result>`)
+	want := `<result><last>Stevens</last><last>Abiteboul</last></result>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestTextInContent(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		where $b/@year = "1994"
+		return <t>{$b/title/text()}</t>
+	}</result>`)
+	want := `<result><t>TCP/IP Illustrated</t></result>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestMixedLiteralContent(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		where $b/@year = "1994"
+		return <line>Title: {$b/title/text()} !</line>
+	}</result>`)
+	want := `<result><line>Title:TCP/IP Illustrated!</line></result>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestThreeLevelNesting(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+		order by $y
+		return <g y="{$y}">{
+			for $b in doc("bib.xml")/bib/book
+			where $y = $b/@year
+			return <bk>{
+				for $a in $b/author
+				return <who>{$a/last/text()}</who>
+			}</bk>
+		}</g>
+	}</result>`)
+	want := `<result>` +
+		`<g y="1994"><bk><who>Stevens</who></bk></g>` +
+		`<g y="2000"><bk><who>Abiteboul</who></bk></g>` +
+		`</result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		where $b/@year < "1999"
+		return $b/title
+	}</result>`)
+	want := `<result><title>TCP/IP Illustrated</title></result>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestPositionalPredicateInView(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{ for $b in doc("bib.xml")/bib/book[2] return $b/title }</result>`)
+	want := `<result><title>Data on the Web</title></result>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestSelfMaintainableClassification(t *testing.T) {
+	cases := []struct {
+		query string
+		want  bool
+	}{
+		{`<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`, true},
+		{`<r>{ for $y in distinct-values(doc("bib.xml")/bib/book/@year) return <y v="{$y}"/> }</r>`, true},
+		{`<r>{ for $b in doc("bib.xml")/bib/book, $e in doc("p")/prices/entry
+		       where $b/title = $e/b-title return <p/> }</r>`, false},
+		{`<r>{ for $b in doc("bib.xml")/bib/book return <c n="{count($b/author)}"/> }</r>`, false},
+		{RunningExample, false},
+	}
+	for _, c := range cases {
+		plan, err := Compile(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.SelfMaintainable(); got != c.want {
+			t.Fatalf("SelfMaintainable(%.60s...) = %v, want %v", c.query, got, c.want)
+		}
+	}
+}
+
+func TestPlanShapePushesPredicatesIntoJoins(t *testing.T) {
+	// No cartesian products: the cross-source predicate must live on the
+	// join itself.
+	plan, err := Compile(`<r>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <p>{$b/title}</p> }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range plan.Ops() {
+		if (o.Kind == xat.OpJoin || o.Kind == xat.OpLOJ) && len(o.Conds) == 0 {
+			t.Fatalf("condition-less join in plan:\n%s", plan.Dump())
+		}
+	}
+	if strings.Count(plan.Dump(), "Select") != 0 {
+		t.Fatalf("late select left in plan:\n%s", plan.Dump())
+	}
+}
+
+func TestUnorderedFunction(t *testing.T) {
+	s := bibStore(t)
+	// unordered() preserves content; order becomes implementation-defined.
+	got := run(t, s, `<result>{ unordered(
+		for $b in doc("bib.xml")/bib/book
+		return <t>{$b/title/text()}</t>
+	)}</result>`)
+	if !strings.Contains(got, "TCP/IP Illustrated") || !strings.Contains(got, "Data on the Web") {
+		t.Fatalf("unordered lost content: %s", got)
+	}
+	plan, err := Compile(`<r>{ unordered(for $b in doc("bib.xml")/bib/book return <t/>) }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := plan.Find(xat.OpCombine)
+	if comb == nil || !comb.Unordered {
+		t.Fatalf("Combine not marked unordered:\n%s", plan.Dump())
+	}
+	// Nested unordered FLWOR marks the grouping.
+	plan2, err := Compile(`<r>{
+		for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+		return <g>{ unordered(
+			for $b in doc("bib.xml")/bib/book where $y = $b/@year return <i/>
+		)}</g> }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := plan2.Find(xat.OpGroupBy)
+	if g == nil || !g.Unordered {
+		t.Fatalf("GroupBy not marked unordered:\n%s", plan2.Dump())
+	}
+}
+
+func TestGroupedAggregate(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+		order by $y
+		return <g y="{$y}" n="{count(
+			for $b in doc("bib.xml")/bib/book where $y = $b/@year return $b
+		)}"/>
+	}</result>`)
+	want := `<result><g y="1994" n="1"/><g y="2000" n="1"/></result>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}

@@ -1,0 +1,233 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"xqview/internal/xat"
+	"xqview/internal/xmldoc"
+)
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+  </book>
+</bib>`
+
+const pricesXML = `
+<prices>
+  <entry><price>39.95</price><b-title>Data on the Web</b-title></entry>
+  <entry><price>65.95</price><b-title>TCP/IP Illustrated</b-title></entry>
+  <entry><price>69.99</price><b-title>Advanced Programming in the Unix environment</b-title></entry>
+</prices>`
+
+// RunningExample is the view of dissertation Fig 1.2(a).
+const RunningExample = `
+<result>{
+  FOR $y in distinct-values(doc("bib.xml")/bib/book/@year)
+  ORDER BY $y
+  RETURN
+    <yGroup Y="{$y}">
+      <books>
+        FOR $b in doc("bib.xml")/bib/book,
+            $e in doc("prices.xml")/prices/entry
+        WHERE $y = $b/@year and $b/title = $e/b-title
+        RETURN <entry>{$b/title} {$e/price}</entry>
+      </books>
+    </yGroup>
+}</result>`
+
+func bibStore(t *testing.T) *xmldoc.Store {
+	t.Helper()
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", pricesXML); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// run compiles and executes a query, returning the serialized result
+// sequence.
+func run(t *testing.T, s *xmldoc.Store, query string) string {
+	t.Helper()
+	plan, err := Compile(query)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return runPlan(t, s, plan)
+}
+
+func runPlan(t *testing.T, s *xmldoc.Store, plan *xat.Plan) string {
+	t.Helper()
+	env := xat.NewEnv(s)
+	tbl, err := xat.Execute(plan, env)
+	if err != nil {
+		t.Fatalf("execute: %v\nplan:\n%s", err, plan.Dump())
+	}
+	col := plan.Root.InCol
+	if col == "" {
+		col = tbl.Cols[len(tbl.Cols)-1]
+	}
+	roots := xat.MaterializeResult(env, tbl, col)
+	var b strings.Builder
+	for _, r := range roots {
+		b.WriteString(r.XML())
+	}
+	return b.String()
+}
+
+func TestSimplePathView(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{ for $t in doc("bib.xml")/bib/book/title return $t }</result>`)
+	want := `<result><title>TCP/IP Illustrated</title><title>Data on the Web</title></result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestConstructedPerTuple(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		return <item>{$b/title}</item>
+	}</result>`)
+	want := `<result><item><title>TCP/IP Illustrated</title></item><item><title>Data on the Web</title></item></result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		where $b/@year = "1994"
+		return $b/title
+	}</result>`)
+	want := `<result><title>TCP/IP Illustrated</title></result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTwoSourceJoin(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book,
+		    $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <pair>{$b/title} {$e/price}</pair>
+	}</result>`)
+	want := `<result>` +
+		`<pair><title>TCP/IP Illustrated</title><price>65.95</price></pair>` +
+		`<pair><title>Data on the Web</title><price>39.95</price></pair>` +
+		`</result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		order by $b/title
+		return $b/title
+	}</result>`)
+	want := `<result><title>Data on the Web</title><title>TCP/IP Illustrated</title></result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+		order by $y
+		return <y v="{$y}"/>
+	}</result>`)
+	want := `<result><y v="1994"/><y v="2000"/></result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRunningExample reproduces Fig 1.2(b) exactly.
+func TestRunningExample(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, RunningExample)
+	want := `<result>` +
+		`<yGroup Y="1994"><books><entry><title>TCP/IP Illustrated</title><price>65.95</price></entry></books></yGroup>` +
+		`<yGroup Y="2000"><books><entry><title>Data on the Web</title><price>39.95</price></entry></books></yGroup>` +
+		`</result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestAggregateCountPerTuple(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		return <c n="{count($b/author)}">{$b/title}</c>
+	}</result>`)
+	want := `<result><c n="1"><title>TCP/IP Illustrated</title></c><c n="1"><title>Data on the Web</title></c></result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNestedGroupingById(t *testing.T) {
+	s := bibStore(t)
+	got := run(t, s, `<result>{
+		for $b in doc("bib.xml")/bib/book
+		return <g>{$b/@year}
+			<names>{ for $a in $b/author return $a/last }</names>
+		</g>
+	}</result>`)
+	// An attribute node in constructor content becomes an attribute of the
+	// constructed element.
+	want := `<result>` +
+		`<g year="1994"><names><last>Stevens</last></names></g>` +
+		`<g year="2000"><names><last>Abiteboul</last></names></g>` +
+		`</result>`
+	if got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`for $b in doc("d")/a where $b/x = "1" or $b/y = "2" return $b`, // disjunction
+		`for $b in doc("d")/a order by $b/x descending return $b`,       // descending
+		`for $b in $u/a return $b`,                                      // unbound var
+	}
+	for _, q := range bad {
+		if _, err := Compile(q); err == nil {
+			t.Fatalf("Compile(%q) should fail", q)
+		}
+	}
+}
+
+func TestPlanShapeRunningExample(t *testing.T) {
+	plan, err := Compile(RunningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Dump()
+	for _, want := range []string{"Distinct", "LOJ", "Join", "GroupBy", "OrderBy", "Tagger", "Combine"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("plan missing %s:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package compile
+
+import (
+	"fmt"
+
+	"xqview/internal/xat"
+	"xqview/internal/xquery"
+)
+
+// part is one independent iteration pipeline under construction: a chain of
+// Source/Navigate (and Distinct/Select) operators binding some variables.
+type part struct {
+	op      *xat.Op
+	vars    map[string]bool
+	isOuter bool
+}
+
+// compileFLWOR compiles a FLWOR expression. outer is the enclosing pipeline
+// (nil at top level) with scope sc over its columns. The result is an
+// operator whose output contains, per outer tuple (regrouped via
+// GroupBy/Combine) or globally (via Combine), a collection column holding
+// the FLWOR results.
+//
+// Independent for-bindings become separate pipelines; where-conjuncts are
+// pushed to the pipeline that can evaluate them — single-pipeline conjuncts
+// become selections, cross-pipeline conjuncts become the conditions of the
+// joins that combine the pipelines (never a cartesian product followed by a
+// filter), and conjuncts correlating the outer scope with the inner
+// pipelines become the condition of a Left Outer Join so outer tuples
+// survive (Ch 7.4; Fig 2.2 op #7).
+func (c *compiler) compileFLWOR(f *xquery.FLWOR, outer *xat.Op, sc *scope) (*xat.Op, string, error) {
+	if sc == nil {
+		sc = &scope{vars: map[string]string{}}
+	}
+	inner := sc.clone()
+	outerKeys := append([]string(nil), sc.keyCols...)
+	outerCols := append([]string(nil), sc.allCols...)
+
+	var parts []*part
+	var outerPart *part
+	if outer != nil {
+		outerPart = &part{op: outer, vars: map[string]bool{}, isOuter: true}
+		for v := range sc.vars {
+			outerPart.vars[v] = true
+		}
+		parts = append(parts, outerPart)
+	}
+	varPart := map[string]*part{}
+	for v := range sc.vars {
+		varPart[v] = outerPart
+	}
+
+	// --- bindings ---
+	newPart := func(op *xat.Op, v string) {
+		p := &part{op: op, vars: map[string]bool{v: true}}
+		parts = append(parts, p)
+		varPart[v] = p
+	}
+	for _, b := range f.Bindings {
+		if b.Kind != xquery.ForBind {
+			return nil, "", fmt.Errorf("compile: let binding survived normalization")
+		}
+		switch src := b.Src.(type) {
+		case *xquery.PathExpr:
+			if src.Doc != "" {
+				op, col, kind, err := c.compileDocIteration(src, false)
+				if err != nil {
+					return nil, "", err
+				}
+				newPart(op, b.Var)
+				inner.bind(b.Var, col, kind == nodeCol)
+				c.colKind[col] = kind
+				continue
+			}
+			// Correlated navigation: extend the pipeline owning the variable.
+			vcol, ok := inner.vars[src.Var]
+			if !ok {
+				return nil, "", fmt.Errorf("compile: unbound variable $%s", src.Var)
+			}
+			p := varPart[src.Var]
+			if p == nil {
+				return nil, "", fmt.Errorf("compile: variable $%s bound outside any pipeline", src.Var)
+			}
+			col := c.newCol()
+			k := pathKind(src)
+			c.colKind[col] = k
+			p.op = &xat.Op{Kind: xat.OpNavUnnest, InCol: vcol, OutCol: col,
+				Path: src.Path, Inputs: []*xat.Op{p.op}}
+			p.vars[b.Var] = true
+			varPart[b.Var] = p
+			inner.bind(b.Var, col, k == nodeCol)
+		case *xquery.FuncCall:
+			if src.Name != "distinct-values" {
+				return nil, "", fmt.Errorf("compile: cannot iterate over %s()", src.Name)
+			}
+			arg, ok := src.Args[0].(*xquery.PathExpr)
+			if !ok || arg.Doc == "" {
+				return nil, "", fmt.Errorf("compile: distinct-values requires a doc-rooted path in a for clause")
+			}
+			op, col, _, err := c.compileDocIteration(arg, false)
+			if err != nil {
+				return nil, "", err
+			}
+			dv := &xat.Op{Kind: xat.OpDistinct, InCol: col, Inputs: []*xat.Op{op}}
+			c.colKind[col] = valueCol
+			newPart(dv, b.Var)
+			inner.bind(b.Var, col, false)
+		default:
+			return nil, "", fmt.Errorf("compile: unsupported for-binding source %T", b.Src)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("compile: FLWOR with no iteration pipeline")
+	}
+
+	// --- where clause ---
+	conds, err := conjuncts(f.Where)
+	if err != nil {
+		return nil, "", err
+	}
+	// ownerOf maps an operand to its pipeline (nil for literals).
+	ownerOf := func(e xquery.Expr) (*part, error) {
+		pe, ok := e.(*xquery.PathExpr)
+		if !ok {
+			return nil, nil
+		}
+		if pe.Doc != "" {
+			return nil, fmt.Errorf("compile: doc-rooted comparison operands are not supported")
+		}
+		if _, bound := inner.vars[pe.Var]; !bound {
+			return nil, fmt.Errorf("compile: unbound variable $%s in condition", pe.Var)
+		}
+		return varPart[pe.Var], nil
+	}
+	// operandOn compiles an operand onto pipeline p (appending a Navigate
+	// Collection when the operand has a path).
+	operandOn := func(p *part, e xquery.Expr) (xat.CmpOperand, error) {
+		if lit, ok := e.(*xquery.Literal); ok {
+			return xat.CmpOperand{Lit: lit.Val, IsLit: true}, nil
+		}
+		pe := e.(*xquery.PathExpr)
+		vcol := inner.vars[pe.Var]
+		if pe.Path == nil || len(pe.Path.Steps) == 0 {
+			return xat.CmpOperand{Col: vcol}, nil
+		}
+		col := c.newCol()
+		c.colKind[col] = valueCol
+		p.op = &xat.Op{Kind: xat.OpNavCollection, InCol: vcol, OutCol: col,
+			Path: pe.Path, Inputs: []*xat.Op{p.op}}
+		return xat.CmpOperand{Col: col}, nil
+	}
+
+	type pcond struct {
+		cmp    *xquery.Comparison
+		owners map[*part]bool
+	}
+	var pending []*pcond
+	perPart := map[*part][]*xquery.Comparison{}
+	var lateConds []*xquery.Comparison
+	for _, cmp := range conds {
+		lo, err := ownerOf(cmp.L)
+		if err != nil {
+			return nil, "", err
+		}
+		ro, err := ownerOf(cmp.R)
+		if err != nil {
+			return nil, "", err
+		}
+		owners := map[*part]bool{}
+		if lo != nil {
+			owners[lo] = true
+		}
+		if ro != nil {
+			owners[ro] = true
+		}
+		switch {
+		case len(owners) == 0:
+			lateConds = append(lateConds, cmp) // literal-vs-literal
+		case len(owners) == 1 && !ownersHasOuter(owners):
+			var p *part
+			for q := range owners {
+				p = q
+			}
+			perPart[p] = append(perPart[p], cmp)
+		case len(owners) == 1: // outer-only
+			lateConds = append(lateConds, cmp)
+		default:
+			pending = append(pending, &pcond{cmp: cmp, owners: owners})
+		}
+	}
+	// Single-pipeline conjuncts become selections on their pipeline.
+	for p, cmps := range perPart {
+		var cs []xat.Cmp
+		for _, cmp := range cmps {
+			l, err := operandOn(p, cmp.L)
+			if err != nil {
+				return nil, "", err
+			}
+			r, err := operandOn(p, cmp.R)
+			if err != nil {
+				return nil, "", err
+			}
+			cs = append(cs, xat.Cmp{L: l, Op: cmp.Op, R: r})
+		}
+		p.op = &xat.Op{Kind: xat.OpSelect, Conds: cs, Inputs: []*xat.Op{p.op}}
+	}
+
+	// --- fold the pipelines ---
+	// Inner pipelines first (theta joins carrying their cross conjuncts),
+	// then one Left Outer Join against the outer pipeline.
+	innerParts := parts
+	if outerPart != nil {
+		innerParts = parts[1:]
+	}
+	fold := func(base *part, next *part, kind xat.OpKind, covered func(*pcond) bool) error {
+		var cs []xat.Cmp
+		var rest []*pcond
+		for _, pc := range pending {
+			if !covered(pc) {
+				rest = append(rest, pc)
+				continue
+			}
+			// Compile each operand onto the side owning it.
+			side := func(e xquery.Expr) (*part, error) {
+				o, err := ownerOf(e)
+				if err != nil || o == nil {
+					return base, err
+				}
+				if o == next {
+					return next, nil
+				}
+				return base, nil
+			}
+			lp, err := side(pc.cmp.L)
+			if err != nil {
+				return err
+			}
+			rp, err := side(pc.cmp.R)
+			if err != nil {
+				return err
+			}
+			l, err := operandOn(lp, pc.cmp.L)
+			if err != nil {
+				return err
+			}
+			r, err := operandOn(rp, pc.cmp.R)
+			if err != nil {
+				return err
+			}
+			cs = append(cs, xat.Cmp{L: l, Op: pc.cmp.Op, R: r})
+		}
+		pending = rest
+		base.op = &xat.Op{Kind: kind, Conds: cs, Inputs: []*xat.Op{base.op, next.op}}
+		for v := range next.vars {
+			base.vars[v] = true
+			varPart[v] = base
+		}
+		return nil
+	}
+	var merged *part
+	if len(innerParts) > 0 {
+		merged = innerParts[0]
+		for _, p := range innerParts[1:] {
+			covered := func(pc *pcond) bool {
+				for o := range pc.owners {
+					if o != merged && o != p {
+						return false
+					}
+				}
+				return true
+			}
+			if err := fold(merged, p, xat.OpJoin, covered); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	var cur *xat.Op
+	switch {
+	case outerPart != nil && merged != nil:
+		covered := func(pc *pcond) bool {
+			for o := range pc.owners {
+				if o != outerPart && o != merged {
+					return false
+				}
+			}
+			return true
+		}
+		if err := fold(outerPart, merged, xat.OpLOJ, covered); err != nil {
+			return nil, "", err
+		}
+		cur = outerPart.op
+	case outerPart != nil:
+		cur = outerPart.op
+	default:
+		cur = merged.op
+	}
+	// Anything still pending spans three pipelines in an unfoldable way:
+	// evaluate it as a late selection.
+	for _, pc := range pending {
+		lateConds = append(lateConds, pc.cmp)
+	}
+	if len(lateConds) > 0 {
+		var cs []xat.Cmp
+		for _, cmp := range lateConds {
+			var xc xat.Cmp
+			cur, xc, err = c.compileCmp(cmp, cur, inner)
+			if err != nil {
+				return nil, "", err
+			}
+			cs = append(cs, xc)
+		}
+		cur = &xat.Op{Kind: xat.OpSelect, Conds: cs, Inputs: []*xat.Op{cur}}
+	}
+
+	// Binding columns become iteration keys for nested regrouping.
+	for _, b := range f.Bindings {
+		inner.keyCols = append(inner.keyCols, inner.vars[b.Var])
+	}
+
+	// --- return clause (per tuple) ---
+	cur, retCol, err := c.compileNested(f.Return, cur, inner)
+	if err != nil {
+		return nil, "", err
+	}
+
+	// --- order by ---
+	if len(f.OrderBy) > 0 {
+		var ordCols []string
+		for _, spec := range f.OrderBy {
+			if spec.Desc {
+				return nil, "", fmt.Errorf("compile: descending order by is not supported")
+			}
+			var col string
+			cur, col, err = c.valueColumn(spec.Expr, cur, inner)
+			if err != nil {
+				return nil, "", err
+			}
+			ordCols = append(ordCols, col)
+		}
+		cur = &xat.Op{Kind: xat.OpOrderBy, OrderCols: ordCols, Inputs: []*xat.Op{cur}}
+	}
+
+	// --- regroup per outer tuple, or combine globally ---
+	if outer == nil {
+		comb := &xat.Op{Kind: xat.OpCombine, InCol: retCol, Inputs: []*xat.Op{cur}}
+		return comb, retCol, nil
+	}
+	carry := diffCols(outerCols, outerKeys, retCol)
+	byID := true
+	for _, g := range outerKeys {
+		if c.colKind[g] != nodeCol {
+			byID = false
+		}
+	}
+	g := &xat.Op{Kind: xat.OpGroupBy, GroupCols: outerKeys, CarryCols: carry,
+		InCol: retCol, GroupByID: byID, Inputs: []*xat.Op{cur}}
+	return g, retCol, nil
+}
+
+func ownersHasOuter(owners map[*part]bool) bool {
+	for p := range owners {
+		if p.isOuter {
+			return true
+		}
+	}
+	return false
+}
+
+// bind records a variable binding in the scope.
+func (s *scope) bind(v, col string, _ bool) {
+	s.vars[v] = col
+	s.allCols = append(s.allCols, col)
+}
+
+// compileCmp compiles both operands of a comparison onto pipeline cur.
+func (c *compiler) compileCmp(cmp *xquery.Comparison, cur *xat.Op, sc *scope) (*xat.Op, xat.Cmp, error) {
+	var out xat.Cmp
+	var err error
+	cur, out.L, err = c.operand(cmp.L, cur, sc)
+	if err != nil {
+		return nil, out, err
+	}
+	cur, out.R, err = c.operand(cmp.R, cur, sc)
+	if err != nil {
+		return nil, out, err
+	}
+	out.Op = cmp.Op
+	return cur, out, nil
+}
+
+// operand compiles one comparison operand onto cur, returning the extended
+// pipeline and the operand reference.
+func (c *compiler) operand(e xquery.Expr, cur *xat.Op, sc *scope) (*xat.Op, xat.CmpOperand, error) {
+	switch x := e.(type) {
+	case *xquery.Literal:
+		return cur, xat.CmpOperand{Lit: x.Val, IsLit: true}, nil
+	case *xquery.PathExpr:
+		if x.Var == "" {
+			return nil, xat.CmpOperand{}, fmt.Errorf("compile: doc-rooted comparison operands are not supported")
+		}
+		vcol, ok := sc.vars[x.Var]
+		if !ok {
+			return nil, xat.CmpOperand{}, fmt.Errorf("compile: unbound variable $%s in condition", x.Var)
+		}
+		if x.Path == nil || len(x.Path.Steps) == 0 {
+			return cur, xat.CmpOperand{Col: vcol}, nil
+		}
+		col := c.newCol()
+		c.colKind[col] = valueCol
+		nav := &xat.Op{Kind: xat.OpNavCollection, InCol: vcol, OutCol: col, Path: x.Path, Inputs: []*xat.Op{cur}}
+		return nav, xat.CmpOperand{Col: col}, nil
+	}
+	return nil, xat.CmpOperand{}, fmt.Errorf("compile: unsupported comparison operand %T", e)
+}
+
+// valueColumn compiles an expression used as an order-by key into a column.
+func (c *compiler) valueColumn(e xquery.Expr, cur *xat.Op, sc *scope) (*xat.Op, string, error) {
+	op, operand, err := c.operand(e, cur, sc)
+	if err != nil {
+		return nil, "", err
+	}
+	if operand.IsLit {
+		return nil, "", fmt.Errorf("compile: literal order-by key")
+	}
+	return op, operand.Col, nil
+}
+
+// conjuncts flattens a where condition into a list of comparisons,
+// rejecting disjunctions (not supported by the maintained subset).
+func conjuncts(cond *xquery.Cond) ([]*xquery.Comparison, error) {
+	if cond == nil {
+		return nil, nil
+	}
+	if cond.Op == "or" {
+		return nil, fmt.Errorf("compile: disjunctive where clauses are not supported")
+	}
+	if cond.Op == "and" {
+		l, err := conjuncts(cond.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := conjuncts(cond.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	}
+	return []*xquery.Comparison{cond.Cmp}, nil
+}
+
+func diffCols(all, minusA []string, minusB string) []string {
+	skip := map[string]bool{minusB: true}
+	for _, m := range minusA {
+		skip[m] = true
+	}
+	var out []string
+	for _, a := range all {
+		if !skip[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

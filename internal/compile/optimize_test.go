@@ -1,0 +1,80 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptimizerPreservesResults compares optimized and unoptimized plans on
+// every view shape used by the package tests.
+func TestOptimizerPreservesResults(t *testing.T) {
+	queries := []string{
+		RunningExample,
+		`<result>{ for $t in doc("bib.xml")/bib/book/title return $t }</result>`,
+		`<result>{
+			for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+			where $b/title = $e/b-title
+			return <pair>{$b/title} {$e/price}</pair> }</result>`,
+		`<result>{
+			for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+			order by $y
+			return <g y="{$y}">{
+				for $b in doc("bib.xml")/bib/book where $y = $b/@year
+				return <bk n="{count($b/author)}">{$b/title}</bk>
+			}</g> }</result>`,
+	}
+	for _, q := range queries {
+		s := bibStore(t)
+		NoOptimize = true
+		plain, errPlain := Compile(q)
+		NoOptimize = false
+		if errPlain != nil {
+			t.Fatal(errPlain)
+		}
+		opt, err := Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := runPlan(t, s, plain)
+		b := runPlan(t, s, opt)
+		if a != b {
+			t.Fatalf("optimizer changed result for %.60s...\nplain: %s\nopt:   %s", q, a, b)
+		}
+	}
+}
+
+// TestOptimizerPrunesCarries checks the pruning actually happens on the
+// flagship: the grouped pipeline must not drag the whole outer schema along.
+func TestOptimizerPrunesCarries(t *testing.T) {
+	NoOptimize = true
+	plain, err := Compile(RunningExample)
+	NoOptimize = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Compile(RunningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(dump string) int { return strings.Count(dump, "$c") }
+	if count(opt.Dump()) > count(plain.Dump()) {
+		t.Fatalf("optimizer grew the plan:\n%s", opt.Dump())
+	}
+	// The same query with an unused outer navigation: the carry must go.
+	q := `<result>{
+		for $b in doc("bib.xml")/bib/book
+		return <o>{
+			for $e in doc("prices.xml")/prices/entry
+			where $b/title = $e/b-title
+			return $e/price
+		}</o> }</result>`
+	opt2, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bibStore(t)
+	want := `<result><o><price>65.95</price></o><o><price>39.95</price></o></result>`
+	if got := runPlan(t, s, opt2); got != want {
+		t.Fatalf("pruned nested view wrong: %s", got)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqview/internal/xmldoc"
+)
+
+// TestMaintainAllConsistency maintains several views of different shapes
+// over one store under randomized batches; every view must stay equal to
+// its recomputation after every batch.
+func TestMaintainAllConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", randomBib(rng, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", randomPrices(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		RunningExample,
+		`<result>{ for $b in doc("bib.xml")/bib/book return <t>{$b/title}</t> }</result>`,
+		`<result>{
+			for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+			where $b/title = $e/b-title
+			return <pair>{$b/title} {$e/price}</pair> }</result>`,
+	}
+	var views []*View
+	for _, q := range queries {
+		v, err := NewView(s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	rounds := 15
+	if testing.Short() {
+		rounds = 5
+	}
+	for round := 0; round < rounds; round++ {
+		prims := randomBatch(t, rng, s, 1+rng.Intn(3))
+		if !conflictFree(prims) {
+			continue
+		}
+		// Recompute baselines before mutating anything.
+		wants := make([]string, len(views))
+		for i, q := range queries {
+			w, err := Recompute(s, q, prims)
+			if err != nil {
+				t.Fatalf("round %d recompute view %d: %v", round, i, err)
+			}
+			wants[i] = w
+		}
+		stats, err := MaintainAll(s, views, prims)
+		if err != nil {
+			t.Fatalf("round %d maintain: %v", round, err)
+		}
+		if len(stats) != len(views) {
+			t.Fatalf("stats: %d", len(stats))
+		}
+		for i, v := range views {
+			if got := v.XML(); got != wants[i] {
+				t.Fatalf("round %d view %d mismatch:\nincr: %s\nfull: %s", round, i, got, wants[i])
+			}
+		}
+	}
+}
+
+// TestMaintainAllRejectsForeignView guards against mixing stores.
+func TestMaintainAllRejectsForeignView(t *testing.T) {
+	s1 := bibStore(t)
+	s2 := bibStore(t)
+	v, err := NewView(s2, RunningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaintainAll(s1, []*View{v}, nil); err == nil {
+		t.Fatal("foreign view accepted")
+	}
+}
+
+// TestMaintainAllEmptyBatch is a no-op that must not disturb extents.
+func TestMaintainAllEmptyBatch(t *testing.T) {
+	s := bibStore(t)
+	v, err := NewView(s, RunningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := v.XML()
+	if _, err := MaintainAll(s, []*View{v}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.XML() != before {
+		t.Fatal("empty batch changed the extent")
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xqview/internal/deepunion"
+	"xqview/internal/update"
+	"xqview/internal/xmldoc"
+)
+
+// The property behind Thm 4.5.1 and the Ch 7 correctness proofs: for any
+// source state and any batch of heterogeneous updates, incrementally
+// maintaining the view yields the same extent as recomputing it over the
+// updated sources. These tests exercise it with randomized documents and
+// randomized update batches over several view shapes.
+
+var titlesPool = []string{
+	"TCP/IP Illustrated", "Data on the Web", "Advanced Unix", "XML Handbook",
+	"Query Processing", "Streams", "Views", "Algebra", "Lineage", "Order",
+}
+
+func randomBib(rng *rand.Rand, nBooks int) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < nBooks; i++ {
+		year := 1994 + rng.Intn(4)
+		title := titlesPool[rng.Intn(len(titlesPool))]
+		fmt.Fprintf(&b, `<book year="%d"><title>%s</title><author><last>A%d</last></author></book>`,
+			year, title, rng.Intn(5))
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+func randomPrices(rng *rand.Rand, nEntries int) string {
+	var b strings.Builder
+	b.WriteString("<prices>")
+	for i := 0; i < nEntries; i++ {
+		title := titlesPool[rng.Intn(len(titlesPool))]
+		fmt.Fprintf(&b, `<entry><price>%d.%02d</price><b-title>%s</b-title></entry>`,
+			10+rng.Intn(90), rng.Intn(100), title)
+	}
+	b.WriteString("</prices>")
+	return b.String()
+}
+
+// randomBatch builds a heterogeneous batch of update primitives against the
+// current store state.
+func randomBatch(t *testing.T, rng *rand.Rand, s *xmldoc.Store, n int) []*update.Primitive {
+	t.Helper()
+	var prims []*update.Primitive
+	bibRoot, _ := s.RootElem("bib.xml")
+	priRoot, _ := s.RootElem("prices.xml")
+	deleted := map[string]bool{}
+	for len(prims) < n {
+		switch rng.Intn(7) {
+		case 0: // insert a book at a random position
+			books := xmldoc.ChildElems(s, bibRoot, "book")
+			frag := xmldoc.Elem("book",
+				xmldoc.AttrF("year", fmt.Sprintf("%d", 1994+rng.Intn(4))),
+				xmldoc.Elem("title", xmldoc.TextF(titlesPool[rng.Intn(len(titlesPool))])))
+			p := &update.Primitive{Kind: update.Insert, Doc: "bib.xml", Parent: bibRoot, Frag: frag}
+			if len(books) > 0 {
+				i := rng.Intn(len(books))
+				p.After = books[i]
+				if i+1 < len(books) {
+					p.Before = books[i+1]
+				}
+			}
+			prims = append(prims, p)
+		case 1: // delete a random book
+			books := xmldoc.ChildElems(s, bibRoot, "book")
+			if len(books) == 0 {
+				continue
+			}
+			k := books[rng.Intn(len(books))]
+			if deleted[string(k)] {
+				continue
+			}
+			deleted[string(k)] = true
+			prims = append(prims, &update.Primitive{Kind: update.Delete, Doc: "bib.xml", Key: k})
+		case 2: // insert a price entry
+			frag := xmldoc.Elem("entry",
+				xmldoc.Elem("price", xmldoc.TextF(fmt.Sprintf("%d.50", 20+rng.Intn(60)))),
+				xmldoc.Elem("b-title", xmldoc.TextF(titlesPool[rng.Intn(len(titlesPool))])))
+			prims = append(prims, &update.Primitive{Kind: update.Insert, Doc: "prices.xml", Parent: priRoot, Frag: frag})
+		case 3: // delete a random entry
+			entries := xmldoc.ChildElems(s, priRoot, "entry")
+			if len(entries) == 0 {
+				continue
+			}
+			k := entries[rng.Intn(len(entries))]
+			if deleted[string(k)] {
+				continue
+			}
+			deleted[string(k)] = true
+			prims = append(prims, &update.Primitive{Kind: update.Delete, Doc: "prices.xml", Key: k})
+		case 4: // replace a price value (exposed-only path: a true modify)
+			entries := xmldoc.ChildElems(s, priRoot, "entry")
+			if len(entries) == 0 {
+				continue
+			}
+			ek := entries[rng.Intn(len(entries))]
+			if deleted[string(ek)] {
+				continue
+			}
+			ps := xmldoc.ChildElems(s, ek, "price")
+			if len(ps) == 0 {
+				continue
+			}
+			texts := xmldoc.TextChildren(s, ps[0])
+			if len(texts) == 0 {
+				continue
+			}
+			prims = append(prims, &update.Primitive{Kind: update.Replace, Doc: "prices.xml",
+				Key: texts[0], NewValue: fmt.Sprintf("%d.99", 10+rng.Intn(80))})
+		case 5: // replace a title (value-sensitive: forces a rewrite)
+			books := xmldoc.ChildElems(s, bibRoot, "book")
+			if len(books) == 0 {
+				continue
+			}
+			bk := books[rng.Intn(len(books))]
+			if deleted[string(bk)] {
+				continue
+			}
+			ts := xmldoc.ChildElems(s, bk, "title")
+			if len(ts) == 0 {
+				continue
+			}
+			texts := xmldoc.TextChildren(s, ts[0])
+			if len(texts) == 0 {
+				continue
+			}
+			prims = append(prims, &update.Primitive{Kind: update.Replace, Doc: "bib.xml",
+				Key: texts[0], NewValue: titlesPool[rng.Intn(len(titlesPool))]})
+		case 6: // insert an author (irrelevant to most views)
+			books := xmldoc.ChildElems(s, bibRoot, "book")
+			if len(books) == 0 {
+				continue
+			}
+			bk := books[rng.Intn(len(books))]
+			if deleted[string(bk)] {
+				continue
+			}
+			frag := xmldoc.Elem("author", xmldoc.Elem("last", xmldoc.TextF("New")))
+			prims = append(prims, &update.Primitive{Kind: update.Insert, Doc: "bib.xml",
+				Parent: bk, Frag: frag})
+		}
+	}
+	return prims
+}
+
+// conflictFree rejects batches where one primitive's region contains
+// another's (the standard non-conflicting batch assumption, Sec 5.3).
+func conflictFree(prims []*update.Primitive) bool {
+	type region struct{ doc, key string }
+	var regions []region
+	for _, p := range prims {
+		k := p.Key
+		if p.Kind == update.Insert {
+			k = p.Parent
+		}
+		regions = append(regions, region{p.Doc, string(k)})
+	}
+	for i, a := range regions {
+		for j, b := range regions {
+			if i == j || a.doc != b.doc {
+				continue
+			}
+			if a.key == b.key && prims[i].Kind != update.Insert {
+				return false
+			}
+			if strings.HasPrefix(b.key, a.key+".") {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var propertyViews = []struct {
+	name  string
+	query string
+}{
+	{"flagship", RunningExample},
+	{"titles", `<result>{ for $b in doc("bib.xml")/bib/book return <t>{$b/title}</t> }</result>`},
+	{"exposed-books", `<result>{ for $b in doc("bib.xml")/bib/book return $b }</result>`},
+	{"filtered", `<result>{
+		for $b in doc("bib.xml")/bib/book
+		where $b/@year = "1995"
+		return <hit>{$b/title}</hit> }</result>`},
+	{"join", `<result>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <pair>{$b/title} {$e/price}</pair> }</result>`},
+	{"nested-groups", `<result>{
+		for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+		order by $y
+		return <g y="{$y}">{
+			for $b in doc("bib.xml")/bib/book
+			where $y = $b/@year
+			return <i>{$b/title}</i>
+		}</g> }</result>`},
+	{"aggregate", `<result>{
+		for $b in doc("bib.xml")/bib/book
+		order by $b/title
+		return <c n="{count($b/author)}">{$b/title}</c> }</result>`},
+	{"grouped-aggregate", `<result>{
+		for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+		order by $y
+		return <g y="{$y}" n="{count(
+			for $b in doc("bib.xml")/bib/book where $y = $b/@year return $b
+		)}"/> }</result>`},
+	{"self-join", `<result>{
+		for $a in doc("bib.xml")/bib/book, $b in doc("bib.xml")/bib/book
+		where $a/@year = $b/@year and $a/title < $b/title
+		return <pair>{$a/title} {$b/title}</pair> }</result>`},
+	{"root-exposure", `<result>{ for $r in doc("bib.xml")/bib return $r }</result>`},
+}
+
+func TestPropertyIncrementalEqualsRecompute(t *testing.T) {
+	for _, pv := range propertyViews {
+		pv := pv
+		t.Run(pv.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xC0FFEE ^ int64(len(pv.name))))
+			iters := 30
+			if testing.Short() {
+				iters = 8
+			}
+			for iter := 0; iter < iters; iter++ {
+				s := xmldoc.NewStore()
+				if _, err := s.Load("bib.xml", randomBib(rng, 1+rng.Intn(6))); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Load("prices.xml", randomPrices(rng, 1+rng.Intn(5))); err != nil {
+					t.Fatal(err)
+				}
+				prims := randomBatch(t, rng, s, 1+rng.Intn(4))
+				if !conflictFree(prims) {
+					continue
+				}
+				want, err := Recompute(s, pv.query, prims)
+				if err != nil {
+					t.Fatalf("iter %d recompute: %v", iter, err)
+				}
+				v, err := NewView(s, pv.query)
+				if err != nil {
+					t.Fatalf("iter %d view: %v", iter, err)
+				}
+				if _, err := v.ApplyUpdates(prims); err != nil {
+					t.Fatalf("iter %d apply: %v\nprims: %v", iter, err, prims)
+				}
+				if got := v.XML(); got != want {
+					var ps []string
+					for _, p := range prims {
+						ps = append(ps, p.String())
+					}
+					t.Fatalf("iter %d mismatch\nprims:\n  %s\nincr: %s\nfull: %s",
+						iter, strings.Join(ps, "\n  "), got, want)
+				}
+				// Structural invariants of the refreshed extent: positive
+				// counts, unique sibling ids, order-sorted children.
+				if err := deepunion.Validate(v.Extent); err != nil {
+					t.Fatalf("iter %d extent invariant: %v", iter, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertySequentialBatches applies several batches in sequence to the
+// same view, verifying consistency after every batch (stability of semantic
+// identifiers across maintenance rounds, Sec 4.6).
+func TestPropertySequentialBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", randomBib(rng, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", randomPrices(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(s, RunningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		prims := randomBatch(t, rng, s, 1+rng.Intn(3))
+		if !conflictFree(prims) {
+			continue
+		}
+		var ps []string
+		for _, p := range prims {
+			ps = append(ps, p.String())
+		}
+		want, err := Recompute(s, RunningExample, prims)
+		if err != nil {
+			t.Fatalf("round %d recompute: %v", round, err)
+		}
+		if _, err := v.ApplyUpdates(prims); err != nil {
+			t.Fatalf("round %d apply: %v", round, err)
+		}
+		if got := v.XML(); got != want {
+			t.Fatalf("round %d mismatch:\nprims:\n  %s\nincr: %s\nfull: %s",
+				round, strings.Join(ps, "\n  "), got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xqview/internal/deepunion"
+	"xqview/internal/update"
+	"xqview/internal/xmark"
+	"xqview/internal/xmldoc"
+)
+
+// Property tests over the XMark-style auction dataset: a different document
+// shape (deep persons, id-based joins, descendant-free long paths) than the
+// bib/prices suite.
+
+var siteViews = []struct {
+	name  string
+	query string
+}{
+	{"profiles", `<result>{ for $p in doc("site.xml")/site/people/person/profile return $p }</result>`},
+	{"city-groups", `<result>{
+		for $c in distinct-values(doc("site.xml")/site/people/person/address/city)
+		order by $c
+		return <city name="{$c}">{
+			for $p in doc("site.xml")/site/people/person
+			where $c = $p/address/city
+			return <m>{$p/name}</m>
+		}</city> }</result>`},
+	{"seller-join", `<result>{
+		for $p in doc("site.xml")/site/people/person,
+		    $a in doc("site.xml")/site/closed_auctions/closed_auction
+		where $p/@id = $a/seller/@person
+		return <sale who="{$p/name}">{$a/date}</sale> }</result>`},
+}
+
+func randomSiteBatch(rng *rand.Rand, s *xmldoc.Store, n int) []*update.Primitive {
+	root, _ := s.RootElem("site.xml")
+	people := xmldoc.ChildElems(s, root, "people")[0]
+	closed := xmldoc.ChildElems(s, root, "closed_auctions")[0]
+	deleted := map[string]bool{}
+	var prims []*update.Primitive
+	for len(prims) < n {
+		switch rng.Intn(5) {
+		case 0: // register a person
+			frag := xmark.Person(rng, 1000+rng.Intn(1000))
+			prims = append(prims, &update.Primitive{Kind: update.Insert, Doc: "site.xml",
+				Parent: people, Frag: frag})
+		case 1: // person leaves
+			ps := xmldoc.ChildElems(s, people, "person")
+			if len(ps) == 0 {
+				continue
+			}
+			k := ps[rng.Intn(len(ps))]
+			if deleted[string(k)] {
+				continue
+			}
+			deleted[string(k)] = true
+			prims = append(prims, &update.Primitive{Kind: update.Delete, Doc: "site.xml", Key: k})
+		case 2: // auction closes
+			frag := xmark.ClosedAuction(rng, rng.Int(), 20)
+			prims = append(prims, &update.Primitive{Kind: update.Insert, Doc: "site.xml",
+				Parent: closed, Frag: frag})
+		case 3: // person moves city (value-sensitive for city-groups)
+			ps := xmldoc.ChildElems(s, people, "person")
+			if len(ps) == 0 {
+				continue
+			}
+			pk := ps[rng.Intn(len(ps))]
+			if deleted[string(pk)] {
+				continue
+			}
+			addr := xmldoc.ChildElems(s, pk, "address")
+			if len(addr) == 0 {
+				continue
+			}
+			city := xmldoc.ChildElems(s, addr[0], "city")
+			if len(city) == 0 {
+				continue
+			}
+			texts := xmldoc.TextChildren(s, city[0])
+			if len(texts) == 0 {
+				continue
+			}
+			prims = append(prims, &update.Primitive{Kind: update.Replace, Doc: "site.xml",
+				Key: texts[0], NewValue: fmt.Sprintf("City%d", rng.Intn(4))})
+		case 4: // auction cancelled
+			as := xmldoc.ChildElems(s, closed, "closed_auction")
+			if len(as) == 0 {
+				continue
+			}
+			k := as[rng.Intn(len(as))]
+			if deleted[string(k)] {
+				continue
+			}
+			deleted[string(k)] = true
+			prims = append(prims, &update.Primitive{Kind: update.Delete, Doc: "site.xml", Key: k})
+		}
+	}
+	return prims
+}
+
+func TestSitePropertyIncrementalEqualsRecompute(t *testing.T) {
+	for _, pv := range siteViews {
+		pv := pv
+		t.Run(pv.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xBEEF ^ int64(len(pv.name))))
+			iters := 12
+			if testing.Short() {
+				iters = 4
+			}
+			for iter := 0; iter < iters; iter++ {
+				cfg := xmark.SiteConfig{Persons: 4 + rng.Intn(8),
+					ClosedAuctions: 2 + rng.Intn(6), OpenAuctions: 2, Seed: rng.Int63()}
+				s, err := xmark.LoadSite(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prims := randomSiteBatch(rng, s, 1+rng.Intn(3))
+				if !conflictFree(prims) {
+					continue
+				}
+				want, err := Recompute(s, pv.query, prims)
+				if err != nil {
+					t.Fatalf("iter %d recompute: %v", iter, err)
+				}
+				v, err := NewView(s, pv.query)
+				if err != nil {
+					t.Fatalf("iter %d view: %v", iter, err)
+				}
+				if _, err := v.ApplyUpdates(prims); err != nil {
+					t.Fatalf("iter %d apply: %v (prims %v)", iter, err, prims)
+				}
+				if got := v.XML(); got != want {
+					var ps []string
+					for _, p := range prims {
+						ps = append(ps, p.String())
+					}
+					t.Fatalf("iter %d mismatch\nprims: %v\nincr: %s\nfull: %s", iter, ps, got, want)
+				}
+				if err := deepunion.Validate(v.Extent); err != nil {
+					t.Fatalf("iter %d invariant: %v", iter, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Package core implements the VPA view-maintenance framework (Sec 1.4.1):
+// materialized XQuery views over a source store, maintained through the
+// Validate, Propagate and Apply phases, with a full-recomputation baseline
+// for comparison and testing.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xqview/internal/compile"
+	"xqview/internal/deepunion"
+	"xqview/internal/sapt"
+	"xqview/internal/update"
+	"xqview/internal/validate"
+	"xqview/internal/xat"
+	"xqview/internal/xmldoc"
+)
+
+// View is a materialized XQuery view registered over a source store.
+type View struct {
+	Query  string
+	Plan   *xat.Plan
+	Store  *xmldoc.Store
+	SAPT   *sapt.Tree
+	Extent []*xat.VNode
+
+	// ExecStats accumulates engine statistics across materialization and
+	// maintenance runs.
+	ExecStats xat.Stats
+}
+
+// MaintStats reports one maintenance run (the Ch 9 breakdown).
+type MaintStats struct {
+	Validate  time.Duration
+	Propagate time.Duration
+	Apply     time.Duration
+	Source    time.Duration // refreshing the base documents
+	Total     time.Duration
+
+	Validation validate.Stats
+	Union      deepunion.Stats
+	DeltaRoots int
+}
+
+// NewView compiles the query, derives its SAPT, and materializes the
+// initial extent.
+func NewView(store *xmldoc.Store, query string) (*View, error) {
+	t0 := time.Now()
+	plan, err := compile.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Query: query, Plan: plan, Store: store, SAPT: sapt.Build(plan)}
+	v.ExecStats.OrderSchema += time.Since(t0) // schema/plan annotation cost
+	if err := v.Materialize(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Materialize (re)computes the extent from scratch.
+func (v *View) Materialize() error {
+	env := xat.NewEnv(v.Store)
+	tbl, err := xat.Execute(v.Plan, env)
+	if err != nil {
+		return err
+	}
+	col := v.Plan.Root.InCol
+	if col == "" && len(tbl.Cols) > 0 {
+		col = tbl.Cols[len(tbl.Cols)-1]
+	}
+	v.Extent = xat.MaterializeResult(env, tbl, col)
+	v.ExecStats.Add(*env.Stats)
+	return nil
+}
+
+// XML serializes the current extent.
+func (v *View) XML() string {
+	var b strings.Builder
+	for _, r := range v.Extent {
+		b.WriteString(r.XML())
+	}
+	return b.String()
+}
+
+// ApplyScript parses XQuery update statements, evaluates them against the
+// store and maintains the view incrementally.
+func (v *View) ApplyScript(src string) (*MaintStats, error) {
+	prims, err := update.ParseAndEvaluate(v.Store, src)
+	if err != nil {
+		return nil, err
+	}
+	return v.ApplyUpdates(prims)
+}
+
+// ApplyUpdates runs the full VPA pipeline for a batch of primitives:
+// validate (relevancy, sufficiency, rewriting, batching), propagate
+// (incremental maintenance plan execution producing delta update trees),
+// apply (deep union into the extent), and finally refreshing the source
+// documents themselves.
+func (v *View) ApplyUpdates(prims []*update.Primitive) (*MaintStats, error) {
+	all, err := MaintainAll(v.Store, []*View{v}, prims)
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+// MaintainAll maintains several views over the same store under one batch:
+// the batch is validated once against the union of the views' SAPTs (so
+// rewrite decisions are consistent for everyone), each view's incremental
+// maintenance plan propagates it and refreshes its extent, and the source
+// documents are updated once at the end.
+func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive) ([]*MaintStats, error) {
+	start := time.Now()
+	trees := make([]*sapt.Tree, len(views))
+	for i, v := range views {
+		if v.Store != store {
+			return nil, fmt.Errorf("core: view %d is defined over a different store", i)
+		}
+		trees[i] = v.SAPT
+	}
+	merged := sapt.Merge(trees...)
+
+	// --- Validate phase (shared) ---
+	t0 := time.Now()
+	batch, err := validate.Validate(store, merged, prims)
+	if err != nil {
+		return nil, fmt.Errorf("validate: %w", err)
+	}
+	validateTime := time.Since(t0)
+
+	// --- Propagate + Apply per view, all against the pre-update store ---
+	din := deltaInput(store, batch)
+	out := make([]*MaintStats, len(views))
+	for i, v := range views {
+		ms := &MaintStats{Validate: validateTime, Validation: batch.Stats}
+		t0 = time.Now()
+		res, err := xat.PropagateDelta(v.Plan, din)
+		if err != nil {
+			return nil, fmt.Errorf("propagate (view %d): %w", i, err)
+		}
+		ms.Propagate = time.Since(t0)
+		ms.DeltaRoots = len(res.Roots)
+		v.ExecStats.Add(*res.Stats)
+
+		t0 = time.Now()
+		v.Extent, err = deepunion.Apply(v.Extent, res.Roots, &ms.Union)
+		if err != nil {
+			return nil, fmt.Errorf("apply (view %d): %w", i, err)
+		}
+		ms.Apply = time.Since(t0)
+		out[i] = ms
+	}
+
+	// --- Refresh the source documents once ---
+	t0 = time.Now()
+	for _, p := range batch.Prims() {
+		if err := update.ApplyToStore(store, p); err != nil {
+			return nil, fmt.Errorf("source refresh: %w", err)
+		}
+	}
+	srcTime := time.Since(t0)
+	total := time.Since(start)
+	for _, ms := range out {
+		ms.Source = srcTime
+		ms.Total = total
+	}
+	return out, nil
+}
+
+// deltaInput assembles the propagate-phase input from a validated batch.
+func deltaInput(store *xmldoc.Store, batch *validate.Batch) *xat.DeltaInput {
+	ur := xmldoc.NewUpdatedReader(store, batch.Overlay)
+	regions := map[string][]*xat.Region{}
+	for doc, prims := range batch.ByDoc {
+		for _, p := range prims {
+			var r *xat.Region
+			switch p.Kind {
+			case update.Insert:
+				r = &xat.Region{Mode: xat.RegionInsert, Anchor: p.Key, Parent: p.Parent}
+				ur.InsertedUnder[p.Parent] = append(ur.InsertedUnder[p.Parent], p.Key)
+			case update.Delete:
+				r = &xat.Region{Mode: xat.RegionDelete, Anchor: p.Key}
+				ur.Deleted[p.Key] = true
+			case update.Replace:
+				r = &xat.Region{Mode: xat.RegionModify, Anchor: p.Key, NewValue: p.NewValue}
+				ur.Replaced[p.Key] = p.NewValue
+			}
+			regions[doc] = append(regions[doc], r)
+		}
+	}
+	return &xat.DeltaInput{Base: store, New: ur, Regions: regions}
+}
+
+// Recompute is the full-recomputation baseline of Ch 9: it clones the
+// store, applies the updates, and evaluates the view from scratch,
+// returning the resulting XML.
+func Recompute(store *xmldoc.Store, query string, prims []*update.Primitive) (string, error) {
+	clone := store.Clone()
+	// Primitives reference keys of the original store; keys are shared by
+	// Clone so they resolve identically.
+	for _, p := range prims {
+		cp := *p
+		if err := update.ApplyToStore(clone, &cp); err != nil {
+			return "", err
+		}
+	}
+	v, err := NewView(clone, query)
+	if err != nil {
+		return "", err
+	}
+	return v.XML(), nil
+}
+
+// CanonicalXML renders an extent deterministically for comparisons: sibling
+// runs without defined order are sorted by their serialized form.
+func CanonicalXML(roots []*xat.VNode) string {
+	cs := make([]*xat.VNode, len(roots))
+	for i, r := range roots {
+		cs[i] = r.Clone()
+	}
+	var b strings.Builder
+	for _, r := range cs {
+		canonicalize(r)
+	}
+	sortCanonical(cs)
+	for _, r := range cs {
+		b.WriteString(r.XML())
+	}
+	return b.String()
+}
+
+func canonicalize(n *xat.VNode) {
+	for _, c := range n.Children {
+		canonicalize(c)
+	}
+	sortCanonical(n.Children)
+	sortCanonical(n.Attrs)
+}
+
+func sortCanonical(ns []*xat.VNode) {
+	// Stable sort by order key first, serialized form second, so unordered
+	// runs become deterministic without disturbing ordered ones.
+	keyed := make([]string, len(ns))
+	for i, c := range ns {
+		keyed[i] = c.XML()
+	}
+	idx := make([]int, len(ns))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortStableBy(idx, func(a, b int) int {
+		if cmp := xat.CompareOrd(ns[a].ID.Order(), ns[b].ID.Order()); cmp != 0 {
+			return cmp
+		}
+		return strings.Compare(keyed[a], keyed[b])
+	})
+	out := make([]*xat.VNode, len(ns))
+	for i, j := range idx {
+		out[i] = ns[j]
+	}
+	copy(ns, out)
+}
+
+func sortStableBy(idx []int, cmp func(a, b int) int) {
+	// Insertion sort keeps it stable and dependency-free; sibling runs are
+	// small.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && cmp(idx[j-1], idx[j]) > 0; j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package deepunion implements the apply phase of the VPA framework (Ch 8):
+// the count-aware Deep Union operator merges delta update trees into the
+// materialized view extent. Nodes are matched by semantic identifier,
+// counts are summed, value replacements applied in place, and — only after
+// every delta has been merged — fragments whose count reached zero are
+// disconnected directly at their root, never node by node (Sec 8.3.2).
+//
+// The pass is incremental end to end: merging consults a persistent
+// per-node child index, and pruning only visits the nodes a delta actually
+// touched, so refresh time is proportional to the delta, not to the extent.
+package deepunion
+
+import (
+	"fmt"
+	"sort"
+
+	"xqview/internal/xat"
+)
+
+// Stats reports what one apply pass did.
+type Stats struct {
+	Merged   int // nodes whose counts were merged
+	Inserted int // delta subtrees attached
+	Removed  int // fragments disconnected (root disconnections, not nodes)
+	Modified int // value replacements
+}
+
+// applyCtx threads the stats sink and the set of nodes whose children may
+// need pruning after all deltas merged.
+type applyCtx struct {
+	st    *Stats
+	dirty map[*xat.VNode]bool
+}
+
+// Apply merges the delta trees into the view roots and prunes dead
+// fragments, returning the refreshed roots.
+func Apply(roots []*xat.VNode, deltas []*xat.VNode, st *Stats) ([]*xat.VNode, error) {
+	if st == nil {
+		st = &Stats{}
+	}
+	ctx := &applyCtx{st: st, dirty: map[*xat.VNode]bool{}}
+	idx := map[string]*xat.VNode{}
+	for _, r := range roots {
+		idx[r.ID.Key()] = r
+	}
+	rootsDirty := false
+	for _, d := range deltas {
+		if ex, ok := idx[d.ID.Key()]; ok {
+			ctx.merge(ex, d)
+			if ex.Count <= 0 {
+				rootsDirty = true
+			}
+			continue
+		}
+		cp := d.Clone()
+		roots = append(roots, cp)
+		idx[cp.ID.Key()] = cp
+		st.Inserted++
+		if cp.Count <= 0 {
+			rootsDirty = true
+		}
+	}
+	// Prune phase: disconnect dead fragments at their roots, visiting only
+	// the parents a delta touched.
+	for n := range ctx.dirty {
+		pruneChildren(n, st)
+	}
+	if rootsDirty {
+		live := roots[:0]
+		for _, r := range roots {
+			if r.Count > 0 {
+				live = append(live, r)
+			} else {
+				st.Removed++
+			}
+		}
+		roots = live
+	}
+	sortByOrder(roots)
+	return roots, nil
+}
+
+// merge folds delta node d into existing node ex. No pruning happens here:
+// counts may transit through zero while the batch's deltas accumulate.
+func (ctx *applyCtx) merge(ex, d *xat.VNode) {
+	ctx.st.Merged++
+	ex.Count += d.Count
+	if d.Mod {
+		ex.Value = d.Value
+		ctx.st.Modified++
+	}
+	if len(d.Attrs) > 0 {
+		aidx := map[string]*xat.VNode{}
+		for _, a := range ex.Attrs {
+			aidx[a.ID.Key()] = a
+		}
+		for _, da := range d.Attrs {
+			if ea, ok := aidx[da.ID.Key()]; ok {
+				ea.Count += da.Count
+				if da.Mod {
+					ea.Value = da.Value
+					ctx.st.Modified++
+				} else if da.Count > 0 && da.Value != ea.Value {
+					// A re-constructed node (e.g. a refreshed aggregate)
+					// carries the attribute's new value with positive count.
+					ea.Value = da.Value
+					ctx.st.Modified++
+				}
+			} else {
+				cp := da.Clone()
+				ex.Attrs = append(ex.Attrs, cp)
+				aidx[cp.ID.Key()] = cp
+				ctx.st.Inserted++
+			}
+		}
+		for _, a := range ex.Attrs {
+			if a.Count <= 0 {
+				ctx.dirty[ex] = true
+				break
+			}
+		}
+	}
+	if len(d.Children) > 0 {
+		cidx := childIndex(ex)
+		for _, dc := range d.Children {
+			if ec, ok := cidx[dc.ID.Key()]; ok {
+				ctx.merge(ec, dc)
+				if ec.Count <= 0 {
+					ctx.dirty[ex] = true
+				}
+				continue
+			}
+			cp := dc.Clone()
+			insertOrdered(ex, cp)
+			cidx[cp.ID.Key()] = cp
+			ctx.st.Inserted++
+			if cp.Count <= 0 {
+				ctx.dirty[ex] = true
+			}
+		}
+	}
+}
+
+// childIndex returns the node's persistent child index, building it on
+// first use. Keeping it across maintenance runs makes per-delta merging
+// independent of the fan-out of the existing extent (self-maintainable
+// views then refresh in time proportional to the update).
+func childIndex(n *xat.VNode) map[string]*xat.VNode {
+	if n.Index == nil {
+		n.Index = make(map[string]*xat.VNode, len(n.Children))
+		for _, c := range n.Children {
+			n.Index[c.ID.Key()] = c
+		}
+	}
+	return n.Index
+}
+
+// pruneChildren disconnects dead children (and attributes) of one touched
+// node; each disconnection drops a whole fragment (Sec 8.3.2).
+func pruneChildren(n *xat.VNode, st *Stats) {
+	if n.Count <= 0 {
+		// The node itself is dead; its parent will disconnect it.
+		return
+	}
+	liveA := n.Attrs[:0]
+	for _, a := range n.Attrs {
+		if a.Count > 0 {
+			liveA = append(liveA, a)
+		} else {
+			st.Removed++
+		}
+	}
+	n.Attrs = liveA
+	live := n.Children[:0]
+	for _, c := range n.Children {
+		if c.Count > 0 {
+			live = append(live, c)
+		} else {
+			st.Removed++
+			if n.Index != nil {
+				delete(n.Index, c.ID.Key())
+			}
+		}
+	}
+	n.Children = live
+}
+
+// insertOrdered places a new child at its order-correct position among the
+// existing (sorted) children.
+func insertOrdered(parent *xat.VNode, c *xat.VNode) {
+	cs := parent.Children
+	i := sort.Search(len(cs), func(i int) bool {
+		return xat.CompareOrd(cs[i].ID.Order(), c.ID.Order()) > 0
+	})
+	cs = append(cs, nil)
+	copy(cs[i+1:], cs[i:])
+	cs[i] = c
+	parent.Children = cs
+}
+
+func sortByOrder(ns []*xat.VNode) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		return xat.CompareOrd(ns[i].ID.Order(), ns[j].ID.Order()) < 0
+	})
+}
+
+// Validate checks structural invariants of a view extent (used by tests and
+// failure injection): counts positive, children sorted, identifiers unique
+// among siblings, child indexes consistent.
+func Validate(roots []*xat.VNode) error {
+	var walk func(n *xat.VNode) error
+	walk = func(n *xat.VNode) error {
+		if n.Count <= 0 {
+			return fmt.Errorf("deepunion: node %s has non-positive count %d", n.ID, n.Count)
+		}
+		seen := map[string]bool{}
+		for i, c := range n.Children {
+			k := c.ID.Key()
+			if seen[k] {
+				return fmt.Errorf("deepunion: duplicate child id %s under %s", c.ID, n.ID)
+			}
+			seen[k] = true
+			if i > 0 && xat.CompareOrd(n.Children[i-1].ID.Order(), c.ID.Order()) > 0 {
+				return fmt.Errorf("deepunion: children of %s out of order at %d", n.ID, i)
+			}
+			if n.Index != nil {
+				if got, ok := n.Index[k]; !ok || got != c {
+					return fmt.Errorf("deepunion: stale child index under %s for %s", n.ID, c.ID)
+				}
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		if n.Index != nil && len(n.Index) != len(n.Children) {
+			return fmt.Errorf("deepunion: index size %d != children %d under %s",
+				len(n.Index), len(n.Children), n.ID)
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+package update
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/xmldoc"
+	"xqview/internal/xpath"
+)
+
+// ParseAndEvaluate parses one or more XQuery update statements ([TIHW01],
+// as used in Fig 1.3) and evaluates them against the store, returning the
+// resulting update primitives. Supported statement form:
+//
+//	for $v in document("doc")/path
+//	[ where $v/path op "literal" [ and ... ] ]
+//	update $v
+//	( insert <fragment/> (after|before|into) $v[/path]
+//	| delete $v[/path]
+//	| replace $v/path with "literal" )
+func ParseAndEvaluate(s *xmldoc.Store, src string) ([]*Primitive, error) {
+	p := &uparser{src: src}
+	var prims []*Primitive
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			break
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		ps, err := stmt.evaluate(s)
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, ps...)
+	}
+	return prims, nil
+}
+
+type ucond struct {
+	path *xpath.Path
+	op   string
+	lit  string
+}
+
+type statement struct {
+	varName string
+	doc     string
+	path    *xpath.Path
+	conds   []ucond
+
+	action   Kind
+	frag     *xmldoc.Frag
+	position string      // after | before | into (insert)
+	target   *xpath.Path // relative path from $v (nil = $v itself)
+	newValue string      // replace
+}
+
+type uparser struct {
+	src string
+	pos int
+}
+
+func (p *uparser) errf(format string, args ...any) error {
+	return fmt.Errorf("update: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *uparser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *uparser) keyword(kw string) bool {
+	p.skipWS()
+	r := p.src[p.pos:]
+	if len(r) < len(kw) || !strings.EqualFold(r[:len(kw)], kw) {
+		return false
+	}
+	if len(r) > len(kw) {
+		c := r[len(kw)]
+		if c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			return false
+		}
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *uparser) name() (string, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *uparser) stringLit() (string, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '"' && p.src[p.pos] != '\'' {
+		return "", p.errf("expected string literal")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated string literal")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *uparser) varRef() (string, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '$' {
+		return "", p.errf("expected $variable")
+	}
+	p.pos++
+	return p.name()
+}
+
+// varPath parses $v with an optional relative path, verifying the variable.
+func (p *uparser) varPath(expect string) (*xpath.Path, error) {
+	v, err := p.varRef()
+	if err != nil {
+		return nil, err
+	}
+	if v != expect {
+		return nil, p.errf("unexpected variable $%s (bound variable is $%s)", v, expect)
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		path, n, err := xpath.ParsePrefix(p.src[p.pos:])
+		if err != nil {
+			return nil, err
+		}
+		p.pos += n
+		return path, nil
+	}
+	return nil, nil
+}
+
+func (p *uparser) parseStatement() (*statement, error) {
+	st := &statement{}
+	if !p.keyword("for") {
+		return nil, p.errf("expected 'for'")
+	}
+	v, err := p.varRef()
+	if err != nil {
+		return nil, err
+	}
+	st.varName = v
+	if !p.keyword("in") {
+		return nil, p.errf("expected 'in'")
+	}
+	if !p.keyword("document") && !p.keyword("doc") {
+		return nil, p.errf("expected document(...)")
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, p.errf("expected (")
+	}
+	p.pos++
+	st.doc, err = p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return nil, p.errf("expected )")
+	}
+	p.pos++
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		path, n, err := xpath.ParsePrefix(p.src[p.pos:])
+		if err != nil {
+			return nil, err
+		}
+		p.pos += n
+		st.path = path
+	}
+	if p.keyword("where") {
+		for {
+			cpath, err := p.varPath(st.varName)
+			if err != nil {
+				return nil, err
+			}
+			var op string
+			p.skipWS()
+			for _, o := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+				if strings.HasPrefix(p.src[p.pos:], o) {
+					op = o
+					p.pos += len(o)
+					break
+				}
+			}
+			if op == "" {
+				return nil, p.errf("expected comparison operator in where")
+			}
+			lit, err := p.stringLit()
+			if err != nil {
+				return nil, err
+			}
+			st.conds = append(st.conds, ucond{path: cpath, op: op, lit: lit})
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if !p.keyword("update") {
+		return nil, p.errf("expected 'update'")
+	}
+	if _, err := p.varPath(st.varName); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.keyword("insert"):
+		st.action = Insert
+		frag, err := p.fragment()
+		if err != nil {
+			return nil, err
+		}
+		st.frag = frag
+		switch {
+		case p.keyword("after"):
+			st.position = "after"
+		case p.keyword("before"):
+			st.position = "before"
+		case p.keyword("into"):
+			st.position = "into"
+		default:
+			return nil, p.errf("expected after/before/into")
+		}
+		st.target, err = p.varPath(st.varName)
+		if err != nil {
+			return nil, err
+		}
+	case p.keyword("delete"):
+		st.action = Delete
+		tgt, err := p.varPath(st.varName)
+		if err != nil {
+			return nil, err
+		}
+		st.target = tgt
+	case p.keyword("replace"):
+		st.action = Replace
+		tgt, err := p.varPath(st.varName)
+		if err != nil {
+			return nil, err
+		}
+		st.target = tgt
+		if !p.keyword("with") {
+			return nil, p.errf("expected 'with'")
+		}
+		st.newValue, err = p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected insert/delete/replace")
+	}
+	return st, nil
+}
+
+// fragment parses one balanced XML element at the cursor using the
+// encoding/xml tokenizer's input offset.
+func (p *uparser) fragment() (*xmldoc.Frag, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return nil, p.errf("expected XML fragment")
+	}
+	rest := p.src[p.pos:]
+	dec := xml.NewDecoder(strings.NewReader(rest))
+	depth := 0
+	var end int64
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, p.errf("unterminated XML fragment")
+		}
+		if err != nil {
+			return nil, p.errf("bad XML fragment: %v", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+		}
+		if depth == 0 {
+			end = dec.InputOffset()
+			break
+		}
+	}
+	fragSrc := rest[:end]
+	f, err := xmldoc.Parse(fragSrc)
+	if err != nil {
+		return nil, p.errf("bad XML fragment: %v", err)
+	}
+	p.pos += int(end)
+	return f, nil
+}
+
+func (st *statement) evaluate(s *xmldoc.Store) ([]*Primitive, error) {
+	docRoot, ok := s.Root(st.doc)
+	if !ok {
+		return nil, fmt.Errorf("update: document %q not loaded", st.doc)
+	}
+	var bindings []flexkey.Key
+	if st.path == nil {
+		bindings = []flexkey.Key{docRoot}
+	} else {
+		bindings = xpath.Eval(s, docRoot, st.path)
+	}
+	var prims []*Primitive
+	for _, b := range bindings {
+		if !st.condsHold(s, b) {
+			continue
+		}
+		targets := []flexkey.Key{b}
+		if st.target != nil {
+			targets = xpath.Eval(s, b, st.target)
+		}
+		for _, tgt := range targets {
+			prim, err := st.primitiveFor(s, tgt)
+			if err != nil {
+				return nil, err
+			}
+			prims = append(prims, prim)
+		}
+	}
+	return prims, nil
+}
+
+func (st *statement) condsHold(s *xmldoc.Store, b flexkey.Key) bool {
+	for _, c := range st.conds {
+		hit := false
+		targets := []flexkey.Key{b}
+		if c.path != nil {
+			targets = xpath.Eval(s, b, c.path)
+		}
+		for _, t := range targets {
+			if xpath.CompareValues(xmldoc.StringValue(s, t), c.op, c.lit) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *statement) primitiveFor(s *xmldoc.Store, tgt flexkey.Key) (*Primitive, error) {
+	switch st.action {
+	case Insert:
+		p := &Primitive{Kind: Insert, Doc: st.doc, Frag: st.frag.Clone()}
+		switch st.position {
+		case "into":
+			p.Parent = tgt
+			cs := s.Children(tgt)
+			if len(cs) > 0 {
+				p.After = cs[len(cs)-1]
+			}
+		case "after", "before":
+			parent := s.Parent(tgt)
+			if parent == "" {
+				return nil, fmt.Errorf("update: cannot insert beside the root")
+			}
+			p.Parent = parent
+			cs := s.Children(parent)
+			idx := -1
+			for i, c := range cs {
+				if c == tgt {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("update: target %s not among its parent's children", tgt)
+			}
+			if st.position == "after" {
+				p.After = tgt
+				if idx+1 < len(cs) {
+					p.Before = cs[idx+1]
+				}
+			} else {
+				p.Before = tgt
+				if idx > 0 {
+					p.After = cs[idx-1]
+				}
+			}
+		}
+		return p, nil
+	case Delete:
+		return &Primitive{Kind: Delete, Doc: st.doc, Key: tgt}, nil
+	case Replace:
+		n, ok := s.Node(tgt)
+		if !ok {
+			return nil, fmt.Errorf("update: replace target %s missing", tgt)
+		}
+		if n.Kind == xmldoc.Element {
+			// Replacing an element's text: target its single text child.
+			texts := xmldoc.TextChildren(s, tgt)
+			if len(texts) != 1 {
+				return nil, fmt.Errorf("update: replace of element %s with %d text children", tgt, len(texts))
+			}
+			tgt = texts[0]
+		}
+		return &Primitive{Kind: Replace, Doc: st.doc, Key: tgt, NewValue: st.newValue}, nil
+	}
+	return nil, fmt.Errorf("update: unknown action")
+}

@@ -1,0 +1,243 @@
+// Package update models source XML updates (Ch 5): the insert / delete /
+// replace primitives, update trees encoding their hierarchy and order,
+// batches of heterogeneous updates, and a parser/evaluator for the XQuery
+// update language of [TIHW01] used in the dissertation's examples
+// (Fig 1.3).
+package update
+
+import (
+	"fmt"
+	"strings"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/xmldoc"
+)
+
+// Kind is the primitive update type.
+type Kind int
+
+const (
+	// Insert adds a new fragment under Parent between After and Before.
+	Insert Kind = iota
+	// Delete removes the fragment rooted at Key.
+	Delete
+	// Replace changes the value of the text or attribute node Key.
+	Replace
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Replace:
+		return "replace"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Primitive is one source update (Sec 5.1). For Insert, Parent/After/Before
+// position the fragment and Key is assigned during validation; for Delete
+// and Replace, Key is the target node.
+type Primitive struct {
+	Kind Kind
+	Doc  string
+
+	Parent flexkey.Key // Insert: parent node
+	After  flexkey.Key // Insert: left sibling ("" = first)
+	Before flexkey.Key // Insert: right sibling ("" = last)
+	Frag   *xmldoc.Frag
+
+	Key      flexkey.Key // target (delete/replace) or assigned root (insert)
+	NewValue string      // Replace
+}
+
+func (p *Primitive) String() string {
+	switch p.Kind {
+	case Insert:
+		return fmt.Sprintf("insert into %s under %s key=%s", p.Doc, p.Parent, p.Key)
+	case Delete:
+		return fmt.Sprintf("delete %s from %s", p.Key, p.Doc)
+	case Replace:
+		return fmt.Sprintf("replace %s in %s with %q", p.Key, p.Doc, p.NewValue)
+	}
+	return "?"
+}
+
+// NodeCount returns the number of nodes the primitive touches (fragment
+// size for inserts, subtree size must be computed by the caller for
+// deletes).
+func (p *Primitive) NodeCount() int {
+	if p.Kind == Insert && p.Frag != nil {
+		return fragSize(p.Frag)
+	}
+	return 1
+}
+
+func fragSize(f *xmldoc.Frag) int {
+	n := 1 + len(f.Attrs)
+	for _, c := range f.Children {
+		n += fragSize(c)
+	}
+	return n
+}
+
+// NormalizePosition defaults a bound-less insert (no After/Before) to
+// appending after the parent's current last child, so successive appends
+// receive distinct keys.
+func NormalizePosition(s *xmldoc.Store, p *Primitive) {
+	if p.Kind != Insert || p.After != "" || p.Before != "" {
+		return
+	}
+	cs := s.Children(p.Parent)
+	if len(cs) > 0 {
+		p.After = cs[len(cs)-1]
+	}
+}
+
+// ApplyToStore applies a primitive to the source store (the final step of
+// the apply phase: refreshing the base documents). Insert primitives must
+// already carry their assigned Key (from validation) so the store and the
+// propagated view agree on identifiers.
+func ApplyToStore(s *xmldoc.Store, p *Primitive) error {
+	switch p.Kind {
+	case Insert:
+		if p.Key == "" {
+			NormalizePosition(s, p)
+			k, err := s.InsertFragment(p.Parent, p.After, p.Before, p.Frag)
+			p.Key = k
+			return err
+		}
+		return s.InsertFragmentWithKey(p.Parent, p.Key, p.Frag)
+	case Delete:
+		return s.DeleteSubtree(p.Key)
+	case Replace:
+		return s.ReplaceText(p.Key, p.NewValue)
+	}
+	return fmt.Errorf("update: unknown primitive kind %d", p.Kind)
+}
+
+// PathNames returns the name path of a node from its document root:
+// element names, "@name" for attributes, "#text" for text nodes. The first
+// component is the root element's name.
+func PathNames(s *xmldoc.Store, k flexkey.Key) []string {
+	var names []string
+	for k != "" {
+		n, ok := s.Node(k)
+		if !ok {
+			break
+		}
+		switch n.Kind {
+		case xmldoc.Document:
+			// stop above the root element
+		case xmldoc.Attr:
+			names = append(names, "@"+n.Name)
+		case xmldoc.Text:
+			names = append(names, "#text")
+		default:
+			names = append(names, n.Name)
+		}
+		k = s.Parent(k)
+	}
+	// reverse
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return names
+}
+
+// TargetPath returns the name path the primitive affects: for inserts the
+// parent path plus the fragment root's name; for deletes/replaces the
+// target's path.
+func TargetPath(s *xmldoc.Store, p *Primitive) []string {
+	switch p.Kind {
+	case Insert:
+		base := PathNames(s, p.Parent)
+		name := p.Frag.Name
+		switch p.Frag.Kind {
+		case xmldoc.Attr:
+			name = "@" + p.Frag.Name
+		case xmldoc.Text:
+			name = "#text"
+		}
+		return append(base, name)
+	default:
+		return PathNames(s, p.Key)
+	}
+}
+
+// Tree is an update tree (Sec 5.1): primitives organized under their shared
+// path prefixes, encoding hierarchy and order. It is the structure handed
+// from validation to propagation (Fig 5.3 shows batch update trees).
+type Tree struct {
+	Doc   string
+	Root  *TreeNode
+	Prims []*Primitive
+}
+
+// TreeNode is one node of an update tree.
+type TreeNode struct {
+	Key      flexkey.Key
+	Name     string
+	Prims    []*Primitive
+	Children []*TreeNode
+	index    map[flexkey.Key]*TreeNode
+}
+
+// BuildTree organizes the primitives of one document into a batch update
+// tree keyed by the (pre-update) ancestor chain of each primitive's anchor.
+func BuildTree(s *xmldoc.Store, doc string, prims []*Primitive) *Tree {
+	rootKey, _ := s.Root(doc)
+	root := &TreeNode{Key: rootKey, Name: doc, index: map[flexkey.Key]*TreeNode{rootKey: nil}}
+	t := &Tree{Doc: doc, Root: root, Prims: prims}
+	nodes := map[flexkey.Key]*TreeNode{rootKey: root}
+	var ensure func(k flexkey.Key) *TreeNode
+	ensure = func(k flexkey.Key) *TreeNode {
+		if n, ok := nodes[k]; ok {
+			return n
+		}
+		pk := s.Parent(k)
+		var parent *TreeNode
+		if pk == "" || pk == k {
+			parent = root
+		} else {
+			parent = ensure(pk)
+		}
+		name := ""
+		if nd, ok := s.Node(k); ok {
+			name = nd.Name
+		}
+		n := &TreeNode{Key: k, Name: name}
+		nodes[k] = n
+		parent.Children = append(parent.Children, n)
+		return n
+	}
+	for _, p := range prims {
+		anchor := p.Key
+		if p.Kind == Insert {
+			anchor = p.Parent
+		}
+		n := ensure(anchor)
+		n.Prims = append(n.Prims, p)
+	}
+	return t
+}
+
+// Dump renders the update tree for diagnostics.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		fmt.Fprintf(&b, "%s%s (%s)", strings.Repeat("  ", depth), n.Name, n.Key)
+		for _, p := range n.Prims {
+			fmt.Fprintf(&b, " [%s]", p.Kind)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,284 @@
+// Package validate implements the Validate phase of the VPA framework
+// (Ch 5): primitives are checked for relevancy against the view's SAPT,
+// checked for sufficiency, rewritten to delete+insert of their navigation
+// anchor when they change values the plan depends on, assigned stable
+// FlexKeys, staged into an overlay store, and batched per document.
+package validate
+
+import (
+	"fmt"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/sapt"
+	"xqview/internal/update"
+	"xqview/internal/xmldoc"
+)
+
+// Batch is the validated set of updates handed to the propagate phase and,
+// afterwards, applied to the source store.
+type Batch struct {
+	// ByDoc holds the validated primitives per document, in application
+	// order. Insert primitives carry their assigned keys.
+	ByDoc map[string][]*update.Primitive
+	// Trees are the batch update trees (Fig 5.3), one per document.
+	Trees map[string]*update.Tree
+	// Overlay stages all inserted fragments under their assigned keys so
+	// the propagate phase can navigate into them.
+	Overlay *xmldoc.Store
+	// Stats summarizes validation decisions.
+	Stats Stats
+}
+
+// Stats counts validation outcomes.
+type Stats struct {
+	Total      int
+	Irrelevant int
+	Passed     int
+	Rewritten  int
+}
+
+// Prims returns all validated primitives across documents.
+func (b *Batch) Prims() []*update.Primitive {
+	var out []*update.Primitive
+	for _, ps := range b.ByDoc {
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// Validate runs the validate phase over the raw primitives.
+func Validate(s *xmldoc.Store, t *sapt.Tree, prims []*update.Primitive) (*Batch, error) {
+	b := &Batch{
+		ByDoc:   map[string][]*update.Primitive{},
+		Trees:   map[string]*update.Tree{},
+		Overlay: xmldoc.NewStore(),
+	}
+	b.Stats.Total = len(prims)
+
+	// Group rewrite-class primitives (and pass-class primitives living
+	// inside a rewritten anchor) by anchor so each anchor is rewritten once
+	// with all its changes applied.
+	type anchorGroup struct {
+		doc   string
+		prims []*update.Primitive
+	}
+	groups := map[flexkey.Key]*anchorGroup{}
+	var order []flexkey.Key
+	var direct []*update.Primitive
+
+	for _, p := range prims {
+		update.NormalizePosition(s, p)
+		if err := checkSufficiency(s, p); err != nil {
+			return nil, err
+		}
+		switch t.Classify(s, p) {
+		case sapt.Irrelevant:
+			b.Stats.Irrelevant++
+		case sapt.Pass:
+			direct = append(direct, p)
+			b.Stats.Passed++
+		case sapt.Rewrite:
+			a, err := anchorFor(s, t, p)
+			if err != nil {
+				return nil, err
+			}
+			g, ok := groups[a]
+			if !ok {
+				g = &anchorGroup{doc: p.Doc}
+				groups[a] = g
+				order = append(order, a)
+			}
+			g.prims = append(g.prims, p)
+			b.Stats.Rewritten++
+		}
+	}
+	// Merge nested anchor groups: a rewritten anchor inside another
+	// rewritten anchor folds into the outer one.
+	for i := 0; i < len(order); i++ {
+		a := order[i]
+		for j := 0; j < len(order); j++ {
+			outer := order[j]
+			if _, ok := groups[a]; !ok {
+				break
+			}
+			if _, ok := groups[outer]; ok && flexkey.IsAncestorOf(outer, a) {
+				groups[outer].prims = append(groups[outer].prims, groups[a].prims...)
+				delete(groups, a)
+				order = append(order[:i:i], order[i+1:]...)
+				i--
+				break
+			}
+		}
+	}
+	// Fold pass-class primitives that live inside a rewritten anchor into
+	// the rewrite (their effect must appear in the replacement fragment).
+	var kept []*update.Primitive
+	for _, p := range direct {
+		ref := p.Key
+		if p.Kind == update.Insert {
+			ref = p.Parent
+		}
+		folded := false
+		for a, g := range groups {
+			if flexkey.IsSelfOrAncestorOf(a, ref) {
+				g.prims = append(g.prims, p)
+				folded = true
+				break
+			}
+		}
+		if !folded {
+			kept = append(kept, p)
+		}
+	}
+	// Emit delete+insert pairs for each rewritten anchor.
+	for _, a := range order {
+		g := groups[a]
+		frag, err := rewriteFragment(s, a, g.prims)
+		if err != nil {
+			return nil, err
+		}
+		prev, next := s.Siblings(a)
+		kept = append(kept,
+			&update.Primitive{Kind: update.Delete, Doc: g.doc, Key: a},
+			&update.Primitive{Kind: update.Insert, Doc: g.doc,
+				Parent: s.Parent(a), After: a, Before: next, Frag: frag})
+		_ = prev
+	}
+	// Assign keys to inserts and stage their fragments in the overlay.
+	// Track staged keys per parent so multiple inserts at the same position
+	// keep their statement order.
+	staged := map[flexkey.Key]flexkey.Key{} // original After -> last staged key there
+	for _, p := range kept {
+		if p.Kind != update.Insert {
+			b.ByDoc[p.Doc] = append(b.ByDoc[p.Doc], p)
+			continue
+		}
+		after := p.After
+		if last, ok := staged[p.After]; ok && p.Key == "" {
+			after = last
+		}
+		if p.Key == "" {
+			lo, hi := after, p.Before
+			if hi != "" && lo >= hi {
+				hi = "" // previous staging consumed the gap's bound ordering
+			}
+			p.Key = flexkey.SiblingBetween(p.Parent, lo, hi)
+			staged[p.After] = p.Key
+		}
+		b.Overlay.StageFragment(p.Key, p.Frag)
+		b.ByDoc[p.Doc] = append(b.ByDoc[p.Doc], p)
+	}
+	for doc, ps := range b.ByDoc {
+		b.Trees[doc] = update.BuildTree(s, doc, ps)
+	}
+	return b, nil
+}
+
+// checkSufficiency verifies the primitive carries (or the store can supply)
+// everything propagation needs (Sec 5.2.2).
+func checkSufficiency(s *xmldoc.Store, p *update.Primitive) error {
+	switch p.Kind {
+	case update.Insert:
+		if p.Frag == nil {
+			return fmt.Errorf("validate: insert without a fragment")
+		}
+		if _, ok := s.Node(p.Parent); !ok {
+			return fmt.Errorf("validate: insert under unknown parent %s", p.Parent)
+		}
+	case update.Delete, update.Replace:
+		if _, ok := s.Node(p.Key); !ok {
+			return fmt.Errorf("validate: %s of unknown node %s", p.Kind, p.Key)
+		}
+	}
+	return nil
+}
+
+// anchorFor finds the outermost Navigate Unnest anchor containing the
+// primitive's target: the fragment granularity at which a rewritten update
+// can be propagated as delete+insert. It must be the outermost such anchor:
+// every navigation pipeline whose target contains the changed value then
+// sees the rewrite as a structural delete+insert of whole tuples, never as
+// an unexpressible value patch (several pipelines may bind targets at
+// different depths over the same region).
+func anchorFor(s *xmldoc.Store, t *sapt.Tree, p *update.Primitive) (flexkey.Key, error) {
+	k := p.Key
+	if p.Kind == update.Insert {
+		k = p.Parent
+	}
+	var anchor flexkey.Key
+	for k != "" {
+		n, ok := s.Node(k)
+		if !ok {
+			break
+		}
+		if n.Kind == xmldoc.Element && t.IsForTargetPath(update.PathNames(s, k), p.Doc) {
+			anchor = k
+		}
+		k = s.Parent(k)
+	}
+	if anchor == "" {
+		return "", fmt.Errorf("validate: no navigation anchor encloses %s in %s", p.Key, p.Doc)
+	}
+	return anchor, nil
+}
+
+// rewriteFragment clones the subtree at anchor a and applies the given
+// primitives inside the clone, producing the replacement fragment.
+func rewriteFragment(s *xmldoc.Store, a flexkey.Key, prims []*update.Primitive) (*xmldoc.Frag, error) {
+	// Index primitives by their structural location.
+	replaceAt := map[flexkey.Key]string{}
+	deleteAt := map[flexkey.Key]bool{}
+	insertsUnder := map[flexkey.Key][]*update.Primitive{}
+	for _, p := range prims {
+		switch p.Kind {
+		case update.Replace:
+			replaceAt[p.Key] = p.NewValue
+		case update.Delete:
+			deleteAt[p.Key] = true
+		case update.Insert:
+			insertsUnder[p.Parent] = append(insertsUnder[p.Parent], p)
+		}
+	}
+	var clone func(k flexkey.Key) *xmldoc.Frag
+	clone = func(k flexkey.Key) *xmldoc.Frag {
+		if deleteAt[k] {
+			return nil
+		}
+		n, ok := s.Node(k)
+		if !ok {
+			return nil
+		}
+		f := &xmldoc.Frag{Kind: n.Kind, Name: n.Name, Value: n.Value}
+		if v, ok := replaceAt[k]; ok {
+			f.Value = v
+		}
+		for _, ak := range s.Attrs(k) {
+			if af := clone(ak); af != nil {
+				f.Attrs = append(f.Attrs, af)
+			}
+		}
+		children := s.Children(k)
+		// Interleave pending inserts at their positions.
+		pending := insertsUnder[k]
+		emitInserts := func(after flexkey.Key) {
+			for _, p := range pending {
+				if p.After == after {
+					f.Children = append(f.Children, p.Frag.Clone())
+				}
+			}
+		}
+		emitInserts("")
+		for _, ck := range children {
+			if cf := clone(ck); cf != nil {
+				f.Children = append(f.Children, cf)
+			}
+			emitInserts(ck)
+		}
+		return f
+	}
+	f := clone(a)
+	if f == nil {
+		return nil, fmt.Errorf("validate: anchor %s deleted by its own rewrite group", a)
+	}
+	return f, nil
+}

@@ -1,0 +1,206 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"xqview/internal/compile"
+	"xqview/internal/flexkey"
+	"xqview/internal/sapt"
+	"xqview/internal/update"
+	"xqview/internal/xmldoc"
+)
+
+const query = `
+<result>{
+  FOR $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+  WHERE $b/title = $e/b-title
+  RETURN <pair>{$b/title} {$e/price}</pair>
+}</result>`
+
+const bibXML = `<bib>
+  <book year="1994"><title>T1</title><author><last>L1</last></author></book>
+  <book year="2000"><title>T2</title><author><last>L2</last></author></book>
+</bib>`
+
+const pricesXML = `<prices><entry><price>10</price><b-title>T1</b-title></entry></prices>`
+
+func setup(t *testing.T) (*xmldoc.Store, *sapt.Tree) {
+	t.Helper()
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", pricesXML); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := compile.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, sapt.Build(plan)
+}
+
+func TestValidateDropsIrrelevant(t *testing.T) {
+	s, tree := setup(t)
+	prims, err := update.ParseAndEvaluate(s, `
+for $b in document("bib.xml")/bib/book[1]
+update $b
+insert <first>W</first> into $b/author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Validate(s, tree, prims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.Irrelevant != 1 || len(b.Prims()) != 0 {
+		t.Fatalf("stats: %+v, prims %d", b.Stats, len(b.Prims()))
+	}
+}
+
+func TestValidateAssignsInsertKeys(t *testing.T) {
+	s, tree := setup(t)
+	prims, err := update.ParseAndEvaluate(s, `
+for $b in document("bib.xml")/bib
+update $b
+insert <book><title>N1</title></book> into $b
+
+for $b in document("bib.xml")/bib
+update $b
+insert <book><title>N2</title></book> into $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Validate(s, tree, prims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := b.ByDoc["bib.xml"]
+	if len(ps) != 2 {
+		t.Fatalf("batched prims: %d", len(ps))
+	}
+	k1, k2 := ps[0].Key, ps[1].Key
+	if k1 == "" || k2 == "" || k1 == k2 {
+		t.Fatalf("keys not distinct: %q %q", k1, k2)
+	}
+	if !flexkey.Less(k1, k2) {
+		t.Fatalf("appended inserts out of order: %q !< %q", k1, k2)
+	}
+	// Staged fragments readable from the overlay.
+	if got := xmldoc.StringValue(b.Overlay, k1); got != "N1" {
+		t.Fatalf("overlay content: %q", got)
+	}
+}
+
+func TestValidateRewritesTitleReplace(t *testing.T) {
+	s, tree := setup(t)
+	prims, err := update.ParseAndEvaluate(s, `
+for $b in document("bib.xml")/bib/book[1]
+update $b
+replace $b/title/text() with "Renamed"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Validate(s, tree, prims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.Rewritten != 1 {
+		t.Fatalf("stats: %+v", b.Stats)
+	}
+	ps := b.ByDoc["bib.xml"]
+	if len(ps) != 2 {
+		t.Fatalf("rewrite should emit delete+insert, got %d prims", len(ps))
+	}
+	var del, ins *update.Primitive
+	for _, p := range ps {
+		switch p.Kind {
+		case update.Delete:
+			del = p
+		case update.Insert:
+			ins = p
+		}
+	}
+	if del == nil || ins == nil {
+		t.Fatalf("prims: %v", ps)
+	}
+	// The replacement fragment carries the new title and the untouched
+	// author subtree.
+	out := ins.Frag.String()
+	if !strings.Contains(out, "Renamed") || !strings.Contains(out, "<last>L1</last>") {
+		t.Fatalf("rewritten fragment: %s", out)
+	}
+	// The new fragment lands at the old book's position: between the old
+	// book (being deleted) and its next sibling.
+	if !(ins.Key > del.Key) {
+		t.Fatalf("insert key %q should follow deleted anchor %q", ins.Key, del.Key)
+	}
+}
+
+func TestValidateFoldsInnerPrimsIntoRewrite(t *testing.T) {
+	s, tree := setup(t)
+	// Replace the title (rewrite) and delete the author's last (inside the
+	// same book; irrelevant alone, but must not resurrect if folded).
+	prims, err := update.ParseAndEvaluate(s, `
+for $b in document("bib.xml")/bib/book[1]
+update $b
+replace $b/title/text() with "Renamed"
+
+for $b in document("bib.xml")/bib/book[1]
+update $b
+insert <extra>e</extra> into $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the insert pass-classified by exposing the book... with this
+	// query the bare <extra> insert is irrelevant; the test checks it does
+	// not break grouping.
+	b, err := Validate(s, tree, prims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := b.ByDoc["bib.xml"]
+	if len(ps) != 2 {
+		t.Fatalf("prims: %v", ps)
+	}
+}
+
+func TestValidateSufficiencyErrors(t *testing.T) {
+	s, tree := setup(t)
+	bad := []*update.Primitive{
+		{Kind: update.Insert, Doc: "bib.xml", Parent: "zz.zz"},
+		{Kind: update.Delete, Doc: "bib.xml", Key: "zz.zz"},
+		{Kind: update.Replace, Doc: "bib.xml", Key: "zz.zz", NewValue: "x"},
+	}
+	for _, p := range bad {
+		if p.Kind == update.Insert {
+			p.Frag = xmldoc.Elem("x")
+		}
+		if _, err := Validate(s, tree, []*update.Primitive{p}); err == nil {
+			t.Fatalf("Validate(%v) should fail", p)
+		}
+	}
+}
+
+func TestValidateBuildsTrees(t *testing.T) {
+	s, tree := setup(t)
+	prims, err := update.ParseAndEvaluate(s, `
+for $b in document("bib.xml")/bib/book[2]
+update $b
+delete $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Validate(s, tree, prims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Trees["bib.xml"]
+	if tr == nil || len(tr.Prims) != 1 {
+		t.Fatalf("batch tree missing: %+v", b.Trees)
+	}
+	if !strings.Contains(tr.Dump(), "[delete]") {
+		t.Fatalf("tree dump: %s", tr.Dump())
+	}
+}

@@ -1,0 +1,755 @@
+package xat
+
+import (
+	"fmt"
+	"time"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/xmldoc"
+)
+
+// DeltaInput describes the validated source updates for the propagate phase
+// (Ch 7). Base is the pre-update store; New is the post-update view of it
+// (staged inserts visible, deletions hidden, replaced values applied);
+// Regions lists the update regions per document.
+type DeltaInput struct {
+	Base    *xmldoc.Store
+	New     xmldoc.Reader
+	Regions map[string][]*Region
+}
+
+// DeltaResult is the outcome of propagation: delta update trees ready for
+// the apply phase, plus the execution stats.
+type DeltaResult struct {
+	Roots []*VNode
+	Stats *Stats
+}
+
+// PropagateDelta derives and executes the incremental maintenance plan of
+// the view: the same algebra operators process delta tables instead of base
+// tables, consulting base inputs where the propagation equations require
+// them (e.g. ΔT1 ⋈ T2 ∪ T1' ⋈ ΔT2 for joins). The output delta update
+// trees are merged into the materialized view by the deep union (Ch 8).
+func PropagateDelta(p *Plan, in *DeltaInput) (*DeltaResult, error) {
+	e := &deltaEngine{
+		plan:     p,
+		in:       in,
+		env:      NewEnv(in.New),
+		baseEnv:  NewEnv(in.Base),
+		baseMemo: map[*Op]*Table{},
+	}
+	// Base and delta runs share the skeleton registry so delta tuples that
+	// carry base-constructed items can be dereferenced.
+	e.env.Cons = e.baseEnv.Cons
+	root := p.Root
+	if root.Kind == OpExpose {
+		root = root.Inputs[0]
+	}
+	t0 := time.Now()
+	final, err := e.delta(root)
+	if err != nil {
+		return nil, err
+	}
+	col := p.Root.InCol
+	if col == "" && len(final.Cols) > 0 {
+		col = final.Cols[len(final.Cols)-1]
+	}
+	roots := e.materializeDelta(final, col)
+	e.env.Stats.Exec += time.Since(t0)
+	return &DeltaResult{Roots: roots, Stats: e.env.Stats}, nil
+}
+
+type deltaEngine struct {
+	plan     *Plan
+	in       *DeltaInput
+	env      *Env // over the post-update reader
+	baseEnv  *Env // over the pre-update store
+	baseMemo map[*Op]*Table
+}
+
+// base executes the sub-plan rooted at o over the pre-update store.
+func (e *deltaEngine) base(o *Op) (*Table, error) {
+	if t, ok := e.baseMemo[o]; ok {
+		return t, nil
+	}
+	t, err := evalOp(o, e.baseEnv)
+	if err != nil {
+		return nil, err
+	}
+	e.baseMemo[o] = t
+	return t, nil
+}
+
+// readerFor picks the store a tuple's content must be resolved against.
+func (e *deltaEngine) readerFor(tp *Tuple) xmldoc.Reader {
+	if tp.Region != nil {
+		if tp.Region.Mode == RegionInsert {
+			return e.in.New
+		}
+		return e.in.Base
+	}
+	if tp.Count >= 0 && tp.Kind == Delta {
+		return e.in.New
+	}
+	return e.in.Base
+}
+
+// envFor wraps readerFor in an Env sharing the delta skeleton registry.
+func (e *deltaEngine) envFor(tp *Tuple) *Env {
+	return &Env{Store: e.readerFor(tp), Cons: e.env.Cons, Stats: e.env.Stats}
+}
+
+func empty(t *Table) bool { return t == nil || len(t.Tuples) == 0 }
+
+// DeltaTrace enables per-operator tracing of delta tables (debugging).
+var DeltaTrace = false
+
+// Ablation knobs: disable individual design choices so their contribution
+// can be measured (see the ablation table in EXPERIMENTS.md). Not for
+// production use; they only make the engine slower, never incorrect.
+var (
+	// AblationNoJoinHash forces nested-loop joins everywhere.
+	AblationNoJoinHash = false
+	// AblationNoNavPruning makes patch-tuple navigation scan whole
+	// documents instead of pruning to the update region.
+	AblationNoNavPruning = false
+)
+
+// delta computes the delta table of operator o.
+func (e *deltaEngine) delta(o *Op) (*Table, error) {
+	t, err := e.delta1(o)
+	if DeltaTrace && err == nil {
+		fmt.Printf("== delta op #%d %s ==\n%s\n", o.ID, o.Kind, t.String())
+	}
+	return t, err
+}
+
+func (e *deltaEngine) delta1(o *Op) (*Table, error) {
+	switch o.Kind {
+	case OpSource:
+		out := NewTable(o.OutCols...)
+		rootKey, ok := e.in.Base.Root(o.Doc)
+		if !ok {
+			return nil, fmt.Errorf("xat: document %q not loaded", o.Doc)
+		}
+		for _, r := range e.in.Regions[o.Doc] {
+			out.Append(&Tuple{Cells: []Cell{{NodeItem(rootKey, 0)}}, Count: 1, Kind: Patch, Region: r})
+		}
+		return out, nil
+
+	case OpNavUnnest:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return e.deltaNav(o, din, false), nil
+
+	case OpNavCollection:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return e.deltaNav(o, din, true), nil
+
+	case OpSelect:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		out := NewTable(o.OutCols...)
+		for _, tp := range din.Tuples {
+			// Predicates are evaluated over the post-update reader: it
+			// resolves inserted keys, keeps deleted subtrees readable, and
+			// value replaces on predicate paths were rewritten away during
+			// validation, so predicate values agree with the state the
+			// tuple belongs to.
+			if condTrue(e.env, din, tp, nil, nil, o.Conds) {
+				out.Append(tp)
+			}
+		}
+		return out, nil
+
+	case OpJoin, OpLOJ:
+		return e.deltaJoin(o)
+
+	case OpDistinct:
+		return e.deltaDistinct(o)
+
+	case OpGroupBy:
+		return e.deltaGroupBy(o)
+
+	case OpOrderBy:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		out := NewTable(o.OutCols...)
+		out.Tuples = din.Tuples
+		return out, nil
+
+	case OpCombine:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		out := NewTable(o.OutCols...)
+		ci := din.Col(o.InCol)
+		for _, tp := range din.Tuples {
+			coll := Cell{}
+			for _, it := range tp.Cells[ci] {
+				if o.Unordered {
+					it.ID.Ord = NoOrd
+				} else {
+					it.ID.Ord = combineOrd(e.env, din, o.Inputs[0].OrderSchema, tp, o.InCol, it, o.Inputs[0].osValue())
+				}
+				it.Count = tp.Count
+				coll = append(coll, it)
+			}
+			out.Append(&Tuple{Cells: []Cell{coll}, Count: tp.Count, Kind: tp.Kind, Region: tp.Region})
+		}
+		return out, nil
+
+	case OpTagger:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		out := NewTable(o.OutCols...)
+		for _, tp := range din.Tuples {
+			if patternEmpty(o, din, tp) {
+				out.Append(extend(tp, Cell(nil)))
+				continue
+			}
+			it := constructNode(o, e.envFor(tp), din, tp)
+			out.Append(extend(tp, Cell{it}))
+		}
+		return out, nil
+
+	case OpXMLUnion, OpXMLUnique, OpXMLDifference, OpXMLIntersection, OpName:
+		din, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return applyOp(o, e.env, []*Table{din})
+
+	case OpMerge:
+		dl, err := e.delta(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		dr, err := e.delta(o.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		out := NewTable(o.OutCols...)
+		nl := len(o.Inputs[0].OutCols)
+		nr := len(o.Inputs[1].OutCols)
+		for _, tp := range dl.Tuples {
+			out.Append(extend(tp, make([]Cell, nr)...))
+		}
+		for _, tp := range dr.Tuples {
+			cells := make([]Cell, 0, nl+nr)
+			cells = append(cells, make([]Cell, nl)...)
+			cells = append(cells, tp.Cells...)
+			out.Append(&Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region})
+		}
+		return out, nil
+
+	case OpExpose:
+		return e.delta(o.Inputs[0])
+
+	case OpUnit:
+		return NewTable(), nil
+	}
+	return nil, fmt.Errorf("xat: no delta rule for %s", o.Kind)
+}
+
+// deltaNav implements the delta semantics of Navigate Unnest / Collection:
+// targets inside the update region become delta content; ancestors of the
+// region stay patches; unrelated targets are dropped (Ch 7.1).
+func (e *deltaEngine) deltaNav(o *Op, din *Table, collection bool) *Table {
+	out := NewTable(o.OutCols...)
+	ci := din.Col(o.InCol)
+	for _, tp := range din.Tuples {
+		if collection && tp.Cells[ci] == nil {
+			out.Append(extend(tp, Cell(nil)))
+			continue
+		}
+		// Delta tuples may pair cells from several update regions (after
+		// joins); the post-update reader resolves them all: inserted
+		// fragments exist only there, and deletion merely unlinks a root
+		// from its parent, leaving the subtree readable. Patch tuples,
+		// however, classify targets from spine anchors (e.g. the document
+		// root), where a deleted fragment is only reachable pre-update.
+		rd := xmldoc.Reader(e.in.New)
+		if tp.Kind == Patch {
+			rd = e.readerFor(tp)
+		}
+		r := tp.Region
+		// Unnest navigation from a patch tuple keeps only region-related
+		// targets, so it can prune every step to the region's ancestor chain
+		// and interior (bulk updates then cost per-region, not per-document).
+		var keep func(flexkey.Key) bool
+		var anchor flexkey.Key
+		if !collection && tp.Kind == Patch && r != nil && !AblationNoNavPruning {
+			anchor = r.Anchor
+			keep = func(xk flexkey.Key) bool {
+				if r.Mode != RegionModify && flexkey.IsSelfOrAncestorOf(r.Anchor, xk) {
+					return true
+				}
+				return flexkey.IsSelfOrAncestorOf(xk, r.Anchor)
+			}
+		}
+		var deltaColl, patchColl Cell
+		for _, it := range tp.Cells[ci] {
+			if it.ID.Body == "" || it.ID.Constructed {
+				continue
+			}
+			for _, x := range evalPathItemsPruned(rd, flexkey.Key(it.ID.Body), o.Path, keep, anchor) {
+				if tp.Kind == Delta || r == nil {
+					deltaColl = append(deltaColl, x)
+					continue
+				}
+				xk := flexkey.Key(x.ID.Body)
+				switch {
+				case r.Mode != RegionModify && flexkey.IsSelfOrAncestorOf(r.Anchor, xk):
+					deltaColl = append(deltaColl, x)
+				case flexkey.IsAncestorOf(xk, r.Anchor),
+					r.Mode == RegionModify && flexkey.IsSelfOrAncestorOf(xk, r.Anchor):
+					patchColl = append(patchColl, x)
+				case collection:
+					// Unrelated members stay in the collection: the tuple
+					// they belong to still exists, and predicates and
+					// lineage need them. The patch materializer prunes
+					// branches that do not lead to the region.
+					patchColl = append(patchColl, x)
+				}
+			}
+		}
+		if collection {
+			// One output tuple per input tuple; new members inside the
+			// region ride on the (patch) tuple and are signed by the region
+			// at materialization time.
+			coll := append(append(Cell{}, patchColl...), deltaColl...)
+			if len(coll) > 0 || tp.Kind == Delta {
+				out.Append(extend(tp, coll))
+			}
+			continue
+		}
+		for _, x := range deltaColl {
+			nt := extend(tp, Cell{x})
+			if tp.Kind == Patch {
+				nt.Kind = Delta
+				nt.Count = tp.Count * r.Sign()
+			}
+			out.Append(nt)
+		}
+		for _, x := range patchColl {
+			out.Append(extend(tp, Cell{x}))
+		}
+	}
+	return out
+}
+
+// split partitions a delta table into pure delta tuples and patch tuples.
+func split(t *Table) (deltas, patches []*Tuple) {
+	for _, tp := range t.Tuples {
+		if tp.Kind == Patch {
+			patches = append(patches, tp)
+		} else {
+			deltas = append(deltas, tp)
+		}
+	}
+	return
+}
+
+// deltaJoin implements the join propagation equations of Ch 7.3/7.4:
+//
+//	Δ(L ⋈ R) = ΔL ⋈ R_old  ∪  (L_old ⊎ ΔL) ⋈ ΔR
+//
+// with patch tuples paired against the other side's old state, and — for
+// Left Outer Joins — explicit corrections for null-padded results whose
+// match count crosses zero.
+func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
+	dl, err := e.delta(o.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	dr, err := e.delta(o.Inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(o.OutCols...)
+	if empty(dl) && empty(dr) {
+		return out, nil
+	}
+	dlDelta, dlPatch := split(dl)
+	drDelta, drPatch := split(dr)
+	// Base sides are only derived when a propagation equation needs them
+	// (an inner join with updates on one side leaves the other side's base
+	// table uncomputed).
+	bl := NewTable(o.Inputs[0].OutCols...)
+	br := NewTable(o.Inputs[1].OutCols...)
+	if len(drDelta)+len(drPatch) > 0 || o.Kind == OpLOJ {
+		bl, err = e.base(o.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(dl.Tuples) > 0 || o.Kind == OpLOJ {
+		br, err = e.base(o.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pair := func(lt, rt *Tuple) *Tuple {
+		cells := make([]Cell, 0, len(lt.Cells)+len(rt.Cells))
+		cells = append(cells, lt.Cells...)
+		cells = append(cells, rt.Cells...)
+		return &Tuple{Cells: cells, Count: lt.Count * rt.Count,
+			Kind: mergeKind(lt, rt), Region: mergeRegion(lt, rt)}
+	}
+	// Hash acceleration: bucket one side on an equality conjunct so delta
+	// parts cost O(|Δ| + matches) instead of O(|Δ|·|base|).
+	lcols := len(o.Inputs[0].OutCols)
+	var hl, hr int = -1, -1
+	for _, cnd := range o.Conds {
+		if cnd.Op != "=" || cnd.L.IsLit || cnd.R.IsLit {
+			continue
+		}
+		li, ri := out.Col(cnd.L.Col), out.Col(cnd.R.Col)
+		if li < lcols && ri >= lcols {
+			hl, hr = li, ri
+		} else if ri < lcols && li >= lcols {
+			hl, hr = ri, li
+		}
+		if hl >= 0 {
+			break
+		}
+	}
+	cellVals := func(c Cell) []string {
+		vals := make([]string, 0, len(c))
+		for _, it := range c {
+			vals = append(vals, e.env.value(it))
+		}
+		return vals
+	}
+	forMatches := func(lt *Tuple, rts []*Tuple, fn func(rt *Tuple, cand *Tuple)) {
+		if hl >= 0 && len(rts) > 8 && !AblationNoJoinHash {
+			idx := make(map[string][]*Tuple, len(rts))
+			for _, rt := range rts {
+				for _, v := range cellVals(rt.Cells[hr-lcols]) {
+					idx[v] = append(idx[v], rt)
+				}
+			}
+			seen := map[*Tuple]bool{}
+			for _, v := range cellVals(lt.Cells[hl]) {
+				for _, rt := range idx[v] {
+					if seen[rt] {
+						continue
+					}
+					seen[rt] = true
+					cand := pair(lt, rt)
+					if e.pairCond(o, out, cand, lt, rt) {
+						fn(rt, cand)
+					}
+				}
+			}
+			return
+		}
+		for _, rt := range rts {
+			cand := pair(lt, rt)
+			if e.pairCond(o, out, cand, lt, rt) {
+				fn(rt, cand)
+			}
+		}
+	}
+	matches := func(lt *Tuple, rts []*Tuple) int {
+		m := 0
+		forMatches(lt, rts, func(rt *Tuple, _ *Tuple) { m += rt.Count })
+		return m
+	}
+	joinInto := func(lts, rts []*Tuple) {
+		if hl >= 0 && len(rts) > 8 && len(lts) > 0 && !AblationNoJoinHash {
+			// Build the right index once for the whole left list.
+			idx := make(map[string][]*Tuple, len(rts))
+			for _, rt := range rts {
+				for _, v := range cellVals(rt.Cells[hr-lcols]) {
+					idx[v] = append(idx[v], rt)
+				}
+			}
+			for _, lt := range lts {
+				seen := map[*Tuple]bool{}
+				for _, v := range cellVals(lt.Cells[hl]) {
+					for _, rt := range idx[v] {
+						if seen[rt] {
+							continue
+						}
+						seen[rt] = true
+						cand := pair(lt, rt)
+						if e.pairCond(o, out, cand, lt, rt) {
+							out.Append(cand)
+						}
+					}
+				}
+			}
+			return
+		}
+		for _, lt := range lts {
+			forMatches(lt, rts, func(_ *Tuple, cand *Tuple) { out.Append(cand) })
+		}
+	}
+
+	// Part 1: ΔL (deltas and patches) against the old right side.
+	joinInto(dl.Tuples, br.Tuples)
+	// For LOJ, a patched left with no old matches patches its null-padded
+	// result.
+	if o.Kind == OpLOJ {
+		pad := make([]Cell, len(br.Cols))
+		for _, lt := range dlPatch {
+			if matches(lt, br.Tuples) == 0 {
+				out.Append(extendPad(lt, pad))
+			}
+		}
+	}
+	// Part 2: the new left state against right deltas.
+	lNew := append(append([]*Tuple(nil), bl.Tuples...), dlDelta...)
+	joinInto(lNew, drDelta)
+	// Part 3: right patches against the old left side.
+	joinInto(bl.Tuples, drPatch)
+
+	// LOJ padding corrections (Ch 7.4): a left tuple's null-padded result
+	// exists exactly when its match count is zero and the tuple itself is
+	// live. Compute, per left identity, the padding contribution in the old
+	// and new states and emit the difference.
+	if o.Kind == OpLOJ && (len(dlDelta) > 0 || len(drDelta) > 0) {
+		pad := make([]Cell, len(br.Cols))
+		lid := func(lt *Tuple) string {
+			parts := make([]string, len(lt.Cells))
+			for i, c := range lt.Cells {
+				parts[i] = cellIdentity(c)
+			}
+			return joinKey(parts)
+		}
+		ldelta := map[string]int{}
+		lrep := map[string]*Tuple{}
+		for _, lt := range dlDelta {
+			id := lid(lt)
+			ldelta[id] += lt.Count
+			lrep[id] = lt
+		}
+		seen := map[string]bool{}
+		consider := func(lt *Tuple, cOld int) {
+			id := lid(lt)
+			if seen[id] {
+				return
+			}
+			seen[id] = true
+			cNew := cOld + ldelta[id]
+			mOld := matches(lt, br.Tuples)
+			mNew := mOld + matches(lt, drDelta)
+			padOld, padNew := 0, 0
+			if mOld == 0 {
+				padOld = cOld
+			}
+			if mNew == 0 {
+				padNew = cNew
+			}
+			if d := padNew - padOld; d != 0 {
+				pt := extendPad(lt, pad)
+				pt.Count = d
+				pt.Kind = Delta
+				out.Append(pt)
+			}
+		}
+		for _, lt := range bl.Tuples {
+			consider(lt, lt.Count)
+		}
+		for _, lt := range dlDelta {
+			if !seen[lid(lt)] {
+				// A brand-new (or fully removed) left identity.
+				base := *lrep[lid(lt)]
+				base.Count = 0
+				consider(&base, 0)
+			}
+		}
+	}
+	return out, nil
+}
+
+// pairCond evaluates the join condition over a candidate pair, resolving
+// each operand against the store matching the tuple it came from.
+func (e *deltaEngine) pairCond(o *Op, tbl *Table, cand, lt, rt *Tuple) bool {
+	lcols := len(lt.Cells)
+	for _, c := range o.Conds {
+		ls := e.operandValues(o, tbl, cand, lt, rt, lcols, c.L)
+		rs := e.operandValues(o, tbl, cand, lt, rt, lcols, c.R)
+		ok := false
+		for _, a := range ls {
+			for _, b := range rs {
+				if compareVals(a, c.Op, b) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *deltaEngine) operandValues(o *Op, tbl *Table, cand, lt, rt *Tuple, lcols int, op CmpOperand) []string {
+	if op.IsLit {
+		return []string{op.Lit}
+	}
+	idx := tbl.Col(op.Col)
+	_ = lt
+	_ = rt
+	_ = lcols
+	cell := cand.Cells[idx]
+	out := make([]string, 0, len(cell))
+	for _, it := range cell {
+		// Resolve against the post-update reader (see the Select rule).
+		out = append(out, e.env.value(it))
+	}
+	return out
+}
+
+func (e *deltaEngine) deltaDistinct(o *Op) (*Table, error) {
+	din, err := e.delta(o.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(o.OutCols...)
+	ci := din.Col(o.InCol)
+	counts := map[string]int{}
+	var order []string
+	for _, tp := range din.Tuples {
+		if tp.Kind == Patch {
+			continue // value changes inside distinct'd paths are rewritten away
+		}
+		for _, it := range tp.Cells[ci] {
+			v := e.env.value(it)
+			if _, ok := counts[v]; !ok {
+				order = append(order, v)
+			}
+			counts[v] += tp.Count
+		}
+	}
+	for _, v := range order {
+		if counts[v] == 0 {
+			continue
+		}
+		out.Append(&Tuple{Cells: []Cell{{ValueItem(v, 0)}}, Count: counts[v], Kind: Delta})
+	}
+	return out, nil
+}
+
+func (e *deltaEngine) deltaGroupBy(o *Op) (*Table, error) {
+	din, err := e.delta(o.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	if o.Agg != "" {
+		return e.deltaAggregate(o, din)
+	}
+	out := NewTable(o.OutCols...)
+	if empty(din) {
+		return out, nil
+	}
+	in := din
+	ci := in.Col(o.InCol)
+	gidx := make([]int, len(o.GroupCols))
+	for i, g := range o.GroupCols {
+		gidx[i] = in.Col(g)
+	}
+	cidx := make([]int, len(o.CarryCols))
+	for i, c := range o.CarryCols {
+		cidx[i] = in.Col(c)
+	}
+	for _, tp := range in.Tuples {
+		cells := make([]Cell, 0, len(o.OutCols))
+		for _, gi := range gidx {
+			cells = append(cells, tp.Cells[gi])
+		}
+		for _, cc := range cidx {
+			cells = append(cells, tp.Cells[cc])
+		}
+		coll := Cell{}
+		for _, it := range tp.Cells[ci] {
+			if o.Unordered {
+				it.ID.Ord = NoOrd
+			} else {
+				it.ID.Ord = combineOrd(e.env, in, o.Inputs[0].OrderSchema, tp, o.InCol, it, o.Inputs[0].osValue())
+			}
+			it.Count = tp.Count
+			coll = append(coll, it)
+		}
+		cells = append(cells, coll)
+		out.Append(&Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region})
+	}
+	return out, nil
+}
+
+// deltaAggregate recomputes affected groups: old results are retracted and
+// new results inserted (Ch 7.6).
+func (e *deltaEngine) deltaAggregate(o *Op, din *Table) (*Table, error) {
+	out := NewTable(o.OutCols...)
+	if empty(din) {
+		return out, nil
+	}
+	dDeltas, _ := split(din)
+	if len(dDeltas) == 0 {
+		return out, nil
+	}
+	bin, err := e.base(o.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	groupKey := func(t *Table, tp *Tuple) string {
+		parts := make([]string, len(o.GroupCols))
+		for i, g := range o.GroupCols {
+			parts[i] = cellIdentity(t.Cell(tp, g))
+		}
+		return joinKey(parts)
+	}
+	affected := map[string]bool{}
+	for _, tp := range dDeltas {
+		affected[groupKey(din, tp)] = true
+	}
+	baseOut := execGroupBy(o, e.baseEnv, bin)
+	newIn := bin.CloneShape()
+	newIn.Tuples = append(append([]*Tuple(nil), bin.Tuples...), dDeltas...)
+	newOut := execGroupBy(o, e.env, newIn)
+	for _, tp := range baseOut.Tuples {
+		if affected[groupKey(baseOut, tp)] {
+			out.Append(&Tuple{Cells: tp.Cells, Count: -tp.Count, Kind: Delta})
+		}
+	}
+	for _, tp := range newOut.Tuples {
+		if tp.Count <= 0 {
+			continue
+		}
+		if affected[groupKey(newOut, tp)] {
+			out.Append(&Tuple{Cells: tp.Cells, Count: tp.Count, Kind: Delta})
+		}
+	}
+	return out, nil
+}
+
+func joinKey(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "\x1f\x1f"
+		}
+		out += p
+	}
+	return out
+}

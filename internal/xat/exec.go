@@ -1,0 +1,898 @@
+package xat
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/xmldoc"
+)
+
+// Stats collects the cost breakdown the Ch 3 / Ch 4 experiments report.
+type Stats struct {
+	Exec          time.Duration // total execution time
+	OrderSchema   time.Duration // computing the order/context schemas (plan analysis)
+	OverridingOrd time.Duration // assigning overriding-order keys at runtime
+	IdentGen      time.Duration // generating semantic identifiers
+	FinalSort     time.Duration // sorting collections when dereferencing the result
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Exec += s2.Exec
+	s.OrderSchema += s2.OrderSchema
+	s.OverridingOrd += s2.OverridingOrd
+	s.IdentGen += s2.IdentGen
+	s.FinalSort += s2.FinalSort
+}
+
+// SkelAttr is a resolved attribute of a constructed node.
+type SkelAttr struct {
+	Name  string
+	Value string
+}
+
+// Skeleton is the stored representation of a constructed node (Sec 3.3.1):
+// only references to content are kept, never copies of the data.
+type Skeleton struct {
+	Name    string
+	Attrs   []SkelAttr
+	Content []Item
+	Count   int
+	// Pinned marks nodes constructed over a top-level combined collection
+	// ("[*]" lineage): they exist unconditionally — deleting all their
+	// content never deletes them (e.g. the <result> root).
+	Pinned bool
+}
+
+// Env is the execution environment: the store to read base data from, the
+// registry of constructed-node skeletons, and the stats sink.
+type Env struct {
+	Store xmldoc.Reader
+	Cons  map[string]*Skeleton
+	Stats *Stats
+	vals  map[flexkey.Key]string // string-value memo (stores are immutable per run)
+}
+
+// NewEnv returns an execution environment over the given store.
+func NewEnv(store xmldoc.Reader) *Env {
+	return &Env{Store: store, Cons: make(map[string]*Skeleton), Stats: &Stats{},
+		vals: make(map[flexkey.Key]string)}
+}
+
+// value resolves an item's atomic value through the environment's memo.
+func (env *Env) value(it Item) string {
+	if it.IsVal {
+		return it.Val
+	}
+	if it.ID.Constructed {
+		return ""
+	}
+	k := flexkey.Key(it.ID.Body)
+	if env.vals == nil {
+		return xmldoc.StringValue(env.Store, k)
+	}
+	if v, ok := env.vals[k]; ok {
+		return v
+	}
+	v := xmldoc.StringValue(env.Store, k)
+	env.vals[k] = v
+	return v
+}
+
+// Execute runs the plan bottom-up and returns the output table of the
+// operator feeding Expose (or of the root itself when no Expose is present).
+func Execute(p *Plan, env *Env) (*Table, error) {
+	start := time.Now()
+	defer func() { env.Stats.Exec += time.Since(start) }()
+	root := p.Root
+	if root.Kind == OpExpose {
+		root = root.Inputs[0]
+	}
+	return evalOp(root, env)
+}
+
+func evalOp(o *Op, env *Env) (*Table, error) {
+	ins := make([]*Table, len(o.Inputs))
+	for i, in := range o.Inputs {
+		t, err := evalOp(in, env)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = t
+	}
+	return applyOp(o, env, ins)
+}
+
+// applyOp evaluates one operator over already-computed input tables. It is
+// shared by full execution and the propagate phase (which feeds delta input
+// tables through the same operators).
+func applyOp(o *Op, env *Env, ins []*Table) (*Table, error) {
+	switch o.Kind {
+	case OpSource:
+		out := NewTable(o.OutCols...)
+		rootKey, ok := env.Store.Root(o.Doc)
+		if !ok {
+			return nil, fmt.Errorf("xat: document %q not loaded", o.Doc)
+		}
+		out.Append(NewTuple(Cell{NodeItem(rootKey, 1)}))
+		return out, nil
+
+	case OpNavUnnest:
+		return execNavUnnest(o, env, ins[0]), nil
+
+	case OpNavCollection:
+		return execNavCollection(o, env, ins[0]), nil
+
+	case OpSelect:
+		out := NewTable(o.OutCols...)
+		for _, tp := range ins[0].Tuples {
+			if condTrue(env, ins[0], tp, nil, nil, o.Conds) {
+				out.Append(tp)
+			}
+		}
+		return out, nil
+
+	case OpJoin:
+		return execJoin(o, env, ins[0], ins[1], false), nil
+
+	case OpLOJ:
+		return execJoin(o, env, ins[0], ins[1], true), nil
+
+	case OpDistinct:
+		return execDistinct(o, env, ins[0]), nil
+
+	case OpGroupBy:
+		return execGroupBy(o, env, ins[0]), nil
+
+	case OpOrderBy:
+		// Non-ordered bag semantics: Order By only changes the Order Schema;
+		// the new order is realized through overriding-order keys assigned
+		// downstream (Sec 3.4.3).
+		out := NewTable(o.OutCols...)
+		out.Tuples = ins[0].Tuples
+		return out, nil
+
+	case OpCombine:
+		return execCombine(o, env, ins[0]), nil
+
+	case OpTagger:
+		return execTagger(o, env, ins[0]), nil
+
+	case OpXMLUnion:
+		return execXMLUnion(o, env, ins[0]), nil
+
+	case OpXMLDifference, OpXMLIntersection:
+		return execXMLSetOp(o, ins[0]), nil
+
+	case OpXMLUnique:
+		return execXMLUnique(o, env, ins[0]), nil
+
+	case OpName:
+		out := NewTable(o.OutCols...)
+		ci := ins[0].Col(o.InCol)
+		for _, tp := range ins[0].Tuples {
+			out.Append(extend(tp, tp.Cells[ci]))
+		}
+		return out, nil
+
+	case OpMerge:
+		return execMerge(o, ins[0], ins[1]), nil
+
+	case OpExpose:
+		return ins[0], nil
+
+	case OpUnit:
+		out := NewTable()
+		out.Append(&Tuple{Count: 1})
+		return out, nil
+	}
+	return nil, fmt.Errorf("xat: cannot execute %s", o.Kind)
+}
+
+func execNavUnnest(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	ci := in.Col(o.InCol)
+	for _, tp := range in.Tuples {
+		for _, it := range tp.Cells[ci] {
+			if it.ID.Body == "" {
+				continue // pure values cannot be navigated
+			}
+			for _, res := range evalPathItems(env.Store, flexkey.Key(it.ID.Body), o.Path) {
+				out.Append(extend(tp, Cell{res}))
+			}
+		}
+	}
+	return out
+}
+
+func execNavCollection(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	ci := in.Col(o.InCol)
+	for _, tp := range in.Tuples {
+		if tp.Cells[ci] == nil {
+			// Navigation from a null padding stays null so the padding
+			// remains recognizable downstream.
+			out.Append(extend(tp, Cell(nil)))
+			continue
+		}
+		coll := Cell{}
+		for _, it := range tp.Cells[ci] {
+			if it.ID.Body == "" {
+				continue
+			}
+			coll = append(coll, evalPathItems(env.Store, flexkey.Key(it.ID.Body), o.Path)...)
+		}
+		out.Append(extend(tp, coll))
+	}
+	return out
+}
+
+// cellValues returns the atomic values of a cell's items for comparisons.
+func cellValues(env *Env, c Cell) []string {
+	out := make([]string, 0, len(c))
+	for _, it := range c {
+		out = append(out, env.value(it))
+	}
+	return out
+}
+
+// condTrue evaluates a conjunction of comparisons with existential
+// semantics. When lt/ltp are non-nil, column lookups fall back to the left
+// tuple (used by joins before the combined tuple is built).
+func condTrue(env *Env, tbl *Table, tp *Tuple, lt *Table, ltp *Tuple, conds []Cmp) bool {
+	operand := func(op CmpOperand) []string {
+		if op.IsLit {
+			return []string{op.Lit}
+		}
+		if tbl.HasCol(op.Col) {
+			return cellValues(env, tbl.Cell(tp, op.Col))
+		}
+		if lt != nil && lt.HasCol(op.Col) {
+			return cellValues(env, lt.Cell(ltp, op.Col))
+		}
+		panic("xat: condition references unknown column " + op.Col)
+	}
+	for _, c := range conds {
+		ls, rs := operand(c.L), operand(c.R)
+		ok := false
+		for _, a := range ls {
+			for _, b := range rs {
+				if compareVals(a, c.Op, b) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func compareVals(a, op, b string) bool {
+	cmp := compareComponent(a, b)
+	switch op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// execJoin implements Theta Join and Left Outer Join via a hash-accelerated
+// nested loop: equality conjuncts between one left and one right column are
+// used to bucket the right side (Sec 3.4.3 notes operators are free to pick
+// any physical strategy since order is encoded, not positional).
+func execJoin(o *Op, env *Env, l, r *Table, outer bool) *Table {
+	out := NewTable(o.OutCols...)
+	// Pick a hashable equality conjunct.
+	var hl, hr string
+	for _, c := range o.Conds {
+		if c.Op != "=" || c.L.IsLit || c.R.IsLit {
+			continue
+		}
+		switch {
+		case l.HasCol(c.L.Col) && r.HasCol(c.R.Col):
+			hl, hr = c.L.Col, c.R.Col
+		case l.HasCol(c.R.Col) && r.HasCol(c.L.Col):
+			hl, hr = c.R.Col, c.L.Col
+		}
+		if hl != "" {
+			break
+		}
+	}
+	emit := func(lt, rt *Tuple) *Tuple {
+		cells := make([]Cell, 0, len(lt.Cells)+len(rt.Cells))
+		cells = append(cells, lt.Cells...)
+		cells = append(cells, rt.Cells...)
+		return &Tuple{Cells: cells, Count: lt.Count * rt.Count,
+			Kind: mergeKind(lt, rt), Region: mergeRegion(lt, rt)}
+	}
+	pad := make([]Cell, len(r.Cols))
+	if hl != "" && len(r.Tuples) > 4 && !AblationNoJoinHash {
+		idx := make(map[string][]*Tuple)
+		rc := r.Col(hr)
+		for _, rt := range r.Tuples {
+			for _, v := range cellValues(env, rt.Cells[rc]) {
+				idx[v] = append(idx[v], rt)
+			}
+		}
+		lc := l.Col(hl)
+		for _, lt := range l.Tuples {
+			matched := false
+			seen := map[*Tuple]bool{}
+			for _, v := range cellValues(env, lt.Cells[lc]) {
+				for _, rt := range idx[v] {
+					if seen[rt] {
+						continue
+					}
+					seen[rt] = true
+					cand := emit(lt, rt)
+					if condTrue(env, out, cand, nil, nil, o.Conds) {
+						out.Append(cand)
+						matched = true
+					}
+				}
+			}
+			if outer && !matched {
+				out.Append(extendPad(lt, pad))
+			}
+		}
+		return out
+	}
+	for _, lt := range l.Tuples {
+		matched := false
+		for _, rt := range r.Tuples {
+			cand := emit(lt, rt)
+			if condTrue(env, out, cand, nil, nil, o.Conds) {
+				out.Append(cand)
+				matched = true
+			}
+		}
+		if outer && !matched {
+			out.Append(extendPad(lt, pad))
+		}
+	}
+	return out
+}
+
+func extendPad(lt *Tuple, pad []Cell) *Tuple {
+	cells := make([]Cell, 0, len(lt.Cells)+len(pad))
+	cells = append(cells, lt.Cells...)
+	cells = append(cells, pad...)
+	return &Tuple{Cells: cells, Count: lt.Count, Kind: lt.Kind, Region: lt.Region}
+}
+
+func mergeKind(a, b *Tuple) TupleKind {
+	if a.Kind == Normal {
+		return b.Kind
+	}
+	return a.Kind
+}
+
+func mergeRegion(a, b *Tuple) *Region {
+	if a.Region != nil {
+		return a.Region
+	}
+	return b.Region
+}
+
+// cellIdentity returns the matching identity of a cell: values for pure
+// value items, id keys otherwise (Def 4.2.4 with Prop 4.2.1 for nulls).
+func cellIdentity(c Cell) string {
+	if len(c) == 0 {
+		return "\x00null"
+	}
+	parts := make([]string, len(c))
+	for i, it := range c {
+		parts[i] = it.Lineage()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func execDistinct(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	ci := in.Col(o.InCol)
+	counts := make(map[string]int)
+	var order []string
+	for _, tp := range in.Tuples {
+		for _, it := range tp.Cells[ci] {
+			v := env.value(it)
+			if _, ok := counts[v]; !ok {
+				order = append(order, v)
+			}
+			counts[v] += tp.Count
+		}
+	}
+	for _, v := range order {
+		out.Append(&Tuple{Cells: []Cell{{ValueItem(v, 0)}}, Count: counts[v]})
+	}
+	return out
+}
+
+func execGroupBy(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	type group struct {
+		first   *Tuple
+		members []*Tuple
+		count   int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	gidx := make([]int, len(o.GroupCols))
+	for i, g := range o.GroupCols {
+		gidx[i] = in.Col(g)
+	}
+	for _, tp := range in.Tuples {
+		keyParts := make([]string, len(gidx))
+		for i, gi := range gidx {
+			keyParts[i] = cellIdentity(tp.Cells[gi])
+		}
+		k := strings.Join(keyParts, "\x1f\x1f")
+		g, ok := groups[k]
+		if !ok {
+			g = &group{first: tp}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.members = append(g.members, tp)
+		g.count += tp.Count
+	}
+	ci := in.Col(o.InCol)
+	for _, k := range order {
+		g := groups[k]
+		cells := make([]Cell, 0, len(o.OutCols))
+		for _, gi := range gidx {
+			cells = append(cells, g.first.Cells[gi])
+		}
+		for _, cc := range o.CarryCols {
+			cells = append(cells, in.Cell(g.first, cc))
+		}
+		if o.Agg == "" {
+			// Combine the grouped column across members (Table 4.2: the
+			// inner Combine assigns overriding order from the input OS).
+			t0 := time.Now()
+			coll := Cell{}
+			for _, m := range g.members {
+				for _, it := range m.Cells[ci] {
+					if o.Unordered {
+						it.ID.Ord = NoOrd
+					} else {
+						it.ID.Ord = combineOrd(env, in, o.Inputs[0].OrderSchema, m, o.InCol, it, o.Inputs[0].osValue())
+					}
+					it.Count = m.Count
+					coll = append(coll, it)
+				}
+			}
+			env.Stats.OverridingOrd += time.Since(t0)
+			cells = append(cells, coll)
+		} else {
+			cells = append(cells, Cell{ValueItem(aggregate(env, o.Agg, g.members, ci), 0)})
+		}
+		out.Append(&Tuple{Cells: cells, Count: g.count, Kind: g.first.Kind, Region: g.first.Region})
+	}
+	return out
+}
+
+// aggregate computes the supported aggregate functions over the InCol items
+// of all member tuples. Aggregates range over items, not derivations: each
+// distinct item (by identity) contributes once when its net derivation
+// count is positive. Summing signed per-item counts is what lets delta
+// members retract base members during propagation (Ch 7.6).
+func aggregate(env *Env, fn string, members []*Tuple, ci int) string {
+	type acc struct {
+		net int
+		val string
+	}
+	byItem := map[string]*acc{}
+	var order []string
+	for _, m := range members {
+		for _, it := range m.Cells[ci] {
+			w := it.Count
+			if w == 0 {
+				w = m.Count
+			}
+			key := it.Lineage()
+			a, ok := byItem[key]
+			if !ok {
+				a = &acc{val: env.value(it)}
+				byItem[key] = a
+				order = append(order, key)
+			}
+			a.net += w
+		}
+	}
+	var vals []float64
+	var strs []string
+	n := 0
+	for _, key := range order {
+		a := byItem[key]
+		if a.net <= 0 {
+			continue
+		}
+		n++
+		strs = append(strs, a.val)
+		if f, ok := parseNum(a.val); ok {
+			vals = append(vals, f)
+		}
+	}
+	switch fn {
+	case "count":
+		return strconv.Itoa(n)
+	case "sum", "avg":
+		s := 0.0
+		for _, f := range vals {
+			s += f
+		}
+		if fn == "avg" {
+			if len(vals) == 0 {
+				return ""
+			}
+			s /= float64(len(vals))
+		}
+		return formatNum(s)
+	case "min", "max":
+		if len(strs) == 0 {
+			return ""
+		}
+		best := strs[0]
+		for _, v := range strs[1:] {
+			c := compareComponent(v, best)
+			if fn == "min" && c < 0 || fn == "max" && c > 0 {
+				best = v
+			}
+		}
+		return best
+	}
+	return ""
+}
+
+func formatNum(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func execCombine(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	ci := in.Col(o.InCol)
+	t0 := time.Now()
+	coll := Cell{}
+	for _, tp := range in.Tuples {
+		for _, it := range tp.Cells[ci] {
+			if o.Unordered {
+				it.ID.Ord = NoOrd
+			} else {
+				it.ID.Ord = combineOrd(env, in, o.Inputs[0].OrderSchema, tp, o.InCol, it, o.Inputs[0].osValue())
+			}
+			it.Count = tp.Count
+			coll = append(coll, it)
+		}
+	}
+	env.Stats.OverridingOrd += time.Since(t0)
+	out.Append(&Tuple{Cells: []Cell{coll}, Count: 1})
+	return out
+}
+
+func execTagger(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	for _, tp := range in.Tuples {
+		if patternEmpty(o, in, tp) {
+			// A null-padded tuple (outer join with no match): construct
+			// nothing, so the enclosing group stays empty.
+			out.Append(extend(tp, Cell(nil)))
+			continue
+		}
+		it := constructNode(o, env, in, tp)
+		out.Append(extend(tp, Cell{it}))
+	}
+	return out
+}
+
+// patternEmpty reports whether the pattern embeds columns and every one of
+// them is a null padding in this tuple. Null paddings (nil cells, produced
+// only by outer joins) suppress construction; genuinely empty collections
+// (non-nil empty cells) still construct, so constructors over empty results
+// keep producing their element.
+func patternEmpty(o *Op, in *Table, tp *Tuple) bool {
+	sawCol := false
+	for _, part := range o.Pattern.Content {
+		if part.IsCol {
+			sawCol = true
+			if in.Cell(tp, part.Col) != nil {
+				return false
+			}
+		}
+	}
+	for _, a := range o.Pattern.Attrs {
+		for _, part := range a.Parts {
+			if part.IsCol {
+				sawCol = true
+				if in.Cell(tp, part.Col) != nil {
+					return false
+				}
+			}
+		}
+	}
+	return sawCol
+}
+
+// constructNode builds the constructed node of a Tagger for one tuple:
+// generates its semantic identifier from the Context Schema (Table 4.2,
+// composeNodeIds) and stores its skeleton.
+func constructNode(o *Op, env *Env, in *Table, tp *Tuple) Item {
+	inOp := o.Inputs[0]
+	t0 := time.Now()
+	pin := patternInputCol(o.Pattern)
+	// The node's lineage combines the lineage of every column the pattern
+	// embeds — the semantics of the XML Union feeding a Tagger in the
+	// dissertation's plans (Fig 2.2 ops #13/#14).
+	var lineage []string
+	colParts := 0
+	for _, part := range o.Pattern.Content {
+		if part.IsCol {
+			colParts++
+		}
+	}
+	pi := 0
+	for _, part := range o.Pattern.Content {
+		if !part.IsCol {
+			continue
+		}
+		tag := ""
+		if colParts > 1 {
+			tag = "p" + itoa(pi)
+		}
+		lineage = append(lineage, resolveLineage(inOp, in, tp, part.Col, tag)...)
+		pi++
+	}
+	if len(lineage) == 0 {
+		for _, a := range o.Pattern.Attrs {
+			for _, part := range a.Parts {
+				if part.IsCol {
+					lineage = append(lineage, resolveLineage(inOp, in, tp, part.Col, "")...)
+				}
+			}
+		}
+	}
+	if len(lineage) == 0 {
+		// Pure-literal pattern (or empty input): identify by the tuple's ECC.
+		for _, c := range inOp.ECC {
+			lineage = append(lineage, resolveLineage(inOp, in, tp, c, "")...)
+		}
+	}
+	id := ConstructedID(o.ID, lineage)
+	// Order prefix (Fig 4.4): from the pattern input column's order context.
+	if pin != "" {
+		cs := inOp.Ctx[pin]
+		switch {
+		case cs == nil || !cs.HasOrder:
+			id.Ord = NoOrd
+		case len(cs.OrderCols) > 0:
+			var comps []string
+			for _, oc := range cs.OrderCols {
+				if in.HasCol(oc) {
+					comps = append(comps, orderComponents(in.Cell(tp, oc))...)
+				}
+			}
+			id.Ord = MakeOrd(comps...)
+		}
+	}
+	env.Stats.IdentGen += time.Since(t0)
+
+	skel := &Skeleton{Name: o.Pattern.Name, Count: tp.Count}
+	if pin != "" {
+		if cs := inOp.Ctx[pin]; cs != nil && cs.All {
+			skel.Pinned = true
+		}
+	}
+	for _, a := range o.Pattern.Attrs {
+		var b strings.Builder
+		for _, part := range a.Parts {
+			if part.IsCol {
+				for _, v := range cellValues(env, in.Cell(tp, part.Col)) {
+					b.WriteString(v)
+				}
+			} else {
+				b.WriteString(part.Lit)
+			}
+		}
+		skel.Attrs = append(skel.Attrs, SkelAttr{Name: a.Name, Value: b.String()})
+	}
+	// Multi-part content follows pattern order: each part gets a positional
+	// order prefix, exactly like the ColID keys of an XML Union (Fig 4.5).
+	multi := len(o.Pattern.Content) > 1
+	for i, part := range o.Pattern.Content {
+		prefix := Ord("")
+		if multi {
+			prefix = Ord("p" + itoa(i))
+		}
+		if part.IsCol {
+			for _, it := range in.Cell(tp, part.Col) {
+				if multi {
+					if it.ID.Ord == NoOrd {
+						it.ID.Ord = prefix
+					} else {
+						it.ID.Ord = it.ID.Ord.Extend(string(prefix))
+					}
+				}
+				skel.Content = append(skel.Content, it)
+			}
+		} else {
+			// Literal text child: identified by its position in the pattern.
+			lit := Item{Val: part.Lit, IsVal: true,
+				ID: ID{Body: "lit" + bodySep + itoa(i), Tag: o.ID, Constructed: true, Ord: prefix}}
+			if !multi {
+				lit.ID.Ord = NoOrd
+			}
+			skel.Content = append(skel.Content, lit)
+		}
+	}
+	key := id.Key()
+	if prev, ok := env.Cons[key]; ok {
+		prev.Count += skel.Count
+	} else {
+		env.Cons[key] = skel
+	}
+	return Item{ID: id, Skel: skel}
+}
+
+// resolveLineage resolves the lineage context of column col for tuple tp
+// against the context schema of op (whose output table is tbl).
+func resolveLineage(op *Op, tbl *Table, tp *Tuple, col, tag string) []string {
+	cs := op.Ctx[col]
+	pref := func(s string) string {
+		if tag != "" {
+			return tag + ":" + s
+		}
+		return s
+	}
+	if cs == nil || cs.LngSelf {
+		cell := tbl.Cell(tp, col)
+		out := make([]string, 0, len(cell))
+		for _, it := range cell {
+			out = append(out, pref(it.Lineage()))
+		}
+		return out
+	}
+	if cs.All {
+		return []string{pref("*")}
+	}
+	var out []string
+	for i, lc := range cs.LngCols {
+		t := cs.UnionTags[i]
+		if tag != "" {
+			if t == "" {
+				t = tag
+			} else {
+				t = tag + "." + t
+			}
+		}
+		out = append(out, resolveLineage(op, tbl, tp, lc, t)...)
+	}
+	return out
+}
+
+func execXMLUnion(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	cs := o.Ctx[o.OutCol]
+	t0 := time.Now()
+	for _, tp := range in.Tuples {
+		var coll Cell
+		for i, uc := range o.UnionCols {
+			tag := cs.UnionTags[i]
+			for _, it := range in.Cell(tp, uc) {
+				// Fig 4.5: prefix the column id, preserving prior order.
+				if it.ID.Ord == NoOrd {
+					it.ID.Ord = Ord(tag)
+				} else {
+					it.ID.Ord = it.ID.Ord.Extend(tag)
+				}
+				coll = append(coll, it)
+			}
+		}
+		out.Append(extend(tp, coll))
+	}
+	env.Stats.OverridingOrd += time.Since(t0)
+	return out
+}
+
+// execXMLSetOp implements XML Difference and XML Intersection: id-based set
+// operations over two sequence columns of each tuple. Both return their
+// result in document order, dropping any overriding order (Sec 3.3.2).
+func execXMLSetOp(o *Op, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	c1 := in.Col(o.UnionCols[0])
+	c2 := in.Col(o.UnionCols[1])
+	for _, tp := range in.Tuples {
+		other := make(map[string]bool, len(tp.Cells[c2]))
+		for _, it := range tp.Cells[c2] {
+			other[it.Lineage()] = true
+		}
+		res := Cell{}
+		for _, it := range tp.Cells[c1] {
+			hit := other[it.Lineage()]
+			if (o.Kind == OpXMLDifference && !hit) || (o.Kind == OpXMLIntersection && hit) {
+				it.ID.Ord = "" // document order
+				res = append(res, it)
+			}
+		}
+		sortCellByOrder(res)
+		out.Append(extend(tp, res))
+	}
+	return out
+}
+
+func execXMLUnique(o *Op, env *Env, in *Table) *Table {
+	out := NewTable(o.OutCols...)
+	ci := in.Col(o.InCol)
+	for _, tp := range in.Tuples {
+		seen := make(map[string]bool)
+		var uniq Cell
+		for _, it := range tp.Cells[ci] {
+			k := it.Lineage()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			// XML Unique removes overriding order: it returns document order
+			// (Sec 3.3.2).
+			it.ID.Ord = ""
+			uniq = append(uniq, it)
+		}
+		out.Append(extend(tp, uniq))
+	}
+	return out
+}
+
+func execMerge(o *Op, l, r *Table) *Table {
+	out := NewTable(o.OutCols...)
+	lt := singleOrEmpty(l)
+	rt := singleOrEmpty(r)
+	cells := make([]Cell, 0, len(l.Cols)+len(r.Cols))
+	cells = append(cells, lt.Cells...)
+	cells = append(cells, rt.Cells...)
+	out.Append(&Tuple{Cells: cells, Count: 1})
+	return out
+}
+
+func singleOrEmpty(t *Table) *Tuple {
+	if len(t.Tuples) > 0 {
+		return t.Tuples[0]
+	}
+	return &Tuple{Cells: make([]Cell, len(t.Cols)), Count: 1}
+}
+
+// osValue reports whether the operator's Order Schema columns hold order-by
+// values (compare by value) rather than FlexKeys. Set by Analyze.
+func (o *Op) osValue() bool { return o.osVal }
+
+// sortCellByOrder sorts a cell by overriding order, breaking ties by node
+// identity (document order for base nodes). Used when dereferencing results.
+func sortCellByOrder(c Cell) {
+	sort.SliceStable(c, func(i, j int) bool {
+		oi, oj := c[i].ID.Order(), c[j].ID.Order()
+		if cmp := CompareOrd(oi, oj); cmp != 0 {
+			return cmp < 0
+		}
+		return c[i].ID.Body < c[j].ID.Body
+	})
+}

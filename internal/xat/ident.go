@@ -1,0 +1,219 @@
+// Package xat implements the XAT XML algebra of the Rainbow engine as used
+// by the dissertation (Ch 2), together with the order solution of Ch 3
+// (Order Schema, overriding order) and the semantic-identifier solution of
+// Ch 4 (Context Schema, reproducible constructed-node ids). The same
+// operator implementations serve both full view computation and the
+// propagate phase of view maintenance.
+package xat
+
+import (
+	"strings"
+
+	"xqview/internal/flexkey"
+)
+
+// ordSep joins the components of an Ord key; it sorts below every printable
+// byte so joined comparison approximates componentwise comparison, but Ord
+// values are always compared componentwise (value-aware) anyway.
+const ordSep = "\x1e"
+
+// Ord is an overriding-order key: a sequence of components, each either a
+// FlexKey or an order-by value. The empty Ord means "no overriding order"
+// (order comes from the node identity); NoOrd means "explicitly unordered"
+// (the '~' prefix of the dissertation).
+type Ord string
+
+// NoOrd marks a node whose local order is semantically irrelevant.
+const NoOrd Ord = "~"
+
+// MakeOrd builds an Ord from components.
+func MakeOrd(components ...string) Ord {
+	return Ord(strings.Join(components, ordSep))
+}
+
+// Components splits an Ord into its components.
+func (o Ord) Components() []string {
+	if o == "" || o == NoOrd {
+		return nil
+	}
+	return strings.Split(string(o), ordSep)
+}
+
+// IsSet reports whether the Ord carries usable ordering information.
+func (o Ord) IsSet() bool { return o != "" && o != NoOrd }
+
+// Extend returns o with extra leading components (used by XML Union to
+// prefix column ids while maintaining prior order).
+func (o Ord) Extend(prefix string) Ord {
+	if o == "" || o == NoOrd {
+		return Ord(prefix)
+	}
+	return Ord(prefix + ordSep + string(o))
+}
+
+// CompareOrd compares two Ords componentwise. Components compare numerically
+// when both are numbers, else as strings (so both FlexKeys and order-by
+// values sort correctly). Unordered keys compare equal to everything, which
+// makes sorting stable among them.
+func CompareOrd(a, b Ord) int {
+	if a == NoOrd || b == NoOrd || (a == "" && b == "") {
+		return 0
+	}
+	ac, bc := a.Components(), b.Components()
+	for i := 0; i < len(ac) && i < len(bc); i++ {
+		if c := compareComponent(ac[i], bc[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(ac) < len(bc):
+		return -1
+	case len(ac) > len(bc):
+		return 1
+	}
+	return 0
+}
+
+func compareComponent(a, b string) int {
+	af, aok := parseNum(a)
+	bf, bok := parseNum(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a, b)
+}
+
+func parseNum(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	var f, frac float64
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+		if len(s) == 1 {
+			return 0, false
+		}
+	}
+	seenDot := false
+	scale := 0.1
+	for ; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if seenDot {
+				frac += float64(c-'0') * scale
+				scale /= 10
+			} else {
+				f = f*10 + float64(c-'0')
+			}
+		case c == '.' && !seenDot:
+			seenDot = true
+		default:
+			return 0, false
+		}
+	}
+	f += frac
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// bodySep joins lineage components inside an ID body.
+const bodySep = "\x1d"
+
+// ID is a semantic identifier (Def 4.3.1): an optional overriding-order
+// prefix plus a body. For base nodes the body is the node's FlexKey; for
+// constructed nodes it is the lineage context (source keys and/or values)
+// plus the constructing Tagger's plan-stable tag, which guarantees global
+// uniqueness while the lineage alone guarantees local uniqueness and
+// reproducibility.
+type ID struct {
+	Ord         Ord
+	Body        string
+	Tag         int // constructing operator id; 0 for base nodes and values
+	Constructed bool
+}
+
+// BaseID builds the identifier of an exposed base node.
+func BaseID(k flexkey.Key) ID { return ID{Body: string(k)} }
+
+// ConstructedID builds a constructed-node identifier from lineage
+// components.
+func ConstructedID(tag int, lineage []string) ID {
+	return ID{Body: strings.Join(lineage, bodySep), Tag: tag, Constructed: true}
+}
+
+// Key returns a map key identifying the node independent of order prefix.
+// Two nodes with equal Key are "the same node" for fusion purposes.
+func (id ID) Key() string {
+	if !id.Constructed {
+		return "b:" + id.Body
+	}
+	return "c:" + itoa(id.Tag) + ":" + id.Body
+}
+
+// Order returns the ordering key of the node: the overriding order when set,
+// the FlexKey body for base nodes, NoOrd otherwise (Sec 3.3.2).
+func (id ID) Order() Ord {
+	if id.Ord != "" {
+		return id.Ord
+	}
+	if !id.Constructed {
+		return Ord(id.Body)
+	}
+	return NoOrd
+}
+
+// WithOrd returns a copy of id with the overriding order set.
+func (id ID) WithOrd(o Ord) ID {
+	id.Ord = o
+	return id
+}
+
+// String renders the id in roughly the dissertation's notation, for
+// debugging ("b.b", "1994c", "T[b.b..e.f]").
+func (id ID) String() string {
+	body := strings.ReplaceAll(id.Body, bodySep, "..")
+	if id.Constructed {
+		body += "c"
+	}
+	if id.Ord == NoOrd {
+		return "~" + body
+	}
+	if id.Ord != "" {
+		return body + "[" + strings.Join(id.Ord.Components(), "..") + "]"
+	}
+	return body
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,129 @@
+package xat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xqview/internal/flexkey"
+)
+
+func TestOrdComponents(t *testing.T) {
+	o := MakeOrd("b.b", "e.f")
+	c := o.Components()
+	if len(c) != 2 || c[0] != "b.b" || c[1] != "e.f" {
+		t.Fatalf("components: %v", c)
+	}
+	if NoOrd.Components() != nil || Ord("").Components() != nil {
+		t.Fatal("empty ords should have no components")
+	}
+}
+
+func TestOrdCompare(t *testing.T) {
+	cases := []struct {
+		a, b Ord
+		want int
+	}{
+		{MakeOrd("b.b"), MakeOrd("b.f"), -1},
+		{MakeOrd("b.b", "e.f"), MakeOrd("b.f", "e.b"), -1},
+		{MakeOrd("b.b", "e.b"), MakeOrd("b.b", "e.f"), -1},
+		{MakeOrd("b.b"), MakeOrd("b.b", "e.f"), -1}, // prefix first
+		{MakeOrd("1994"), MakeOrd("2000"), -1},      // numeric-aware
+		{MakeOrd("9"), MakeOrd("10"), -1},           // numeric, not lexicographic
+		{MakeOrd("x"), MakeOrd("x"), 0},
+		{NoOrd, MakeOrd("b"), 0}, // unordered compares equal
+	}
+	for _, c := range cases {
+		if got := CompareOrd(c.a, c.b); got != c.want {
+			t.Fatalf("CompareOrd(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if c.want != 0 {
+			if got := CompareOrd(c.b, c.a); got != -c.want {
+				t.Fatalf("CompareOrd(%q,%q) = %d, want %d", c.b, c.a, got, -c.want)
+			}
+		}
+	}
+}
+
+func TestOrdExtend(t *testing.T) {
+	o := MakeOrd("x").Extend("p0")
+	if c := o.Components(); len(c) != 2 || c[0] != "p0" || c[1] != "x" {
+		t.Fatalf("extend: %v", c)
+	}
+	if c := Ord("").Extend("p0").Components(); len(c) != 1 || c[0] != "p0" {
+		t.Fatalf("extend empty: %v", c)
+	}
+	if c := NoOrd.Extend("p0").Components(); len(c) != 1 || c[0] != "p0" {
+		t.Fatalf("extend noord: %v", c)
+	}
+}
+
+func TestBaseIDOrder(t *testing.T) {
+	id := BaseID(flexkey.Key("b.b.f"))
+	if id.Constructed || id.Order() != Ord("b.b.f") {
+		t.Fatalf("base id: %+v order %q", id, id.Order())
+	}
+	id2 := id.WithOrd(MakeOrd("z"))
+	if id2.Order() != MakeOrd("z") {
+		t.Fatal("overriding order not used")
+	}
+	// WithOrd must not mutate the original.
+	if id.Ord != "" {
+		t.Fatal("WithOrd mutated receiver")
+	}
+}
+
+func TestConstructedIDKeyDistinguishesTag(t *testing.T) {
+	a := ConstructedID(5, []string{"1994"})
+	b := ConstructedID(7, []string{"1994"})
+	if a.Key() == b.Key() {
+		t.Fatal("different constructing operators must yield different keys")
+	}
+	c := ConstructedID(5, []string{"1994"})
+	if a.Key() != c.Key() {
+		t.Fatal("same construction must be reproducible")
+	}
+	if a.Key() == BaseID("1994").Key() {
+		t.Fatal("constructed and base ids must not collide")
+	}
+}
+
+func TestConstructedIDOrderDefaultsUnordered(t *testing.T) {
+	id := ConstructedID(3, []string{"x"})
+	if id.Order() != NoOrd {
+		t.Fatalf("constructed id without ord should be unordered, got %q", id.Order())
+	}
+}
+
+func TestIDStringNotation(t *testing.T) {
+	id := ConstructedID(3, []string{"b.b", "e.f"}).WithOrd(MakeOrd("1994"))
+	s := id.String()
+	if s != "b.b..e.fc[1994]" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// quick-check: CompareOrd is antisymmetric and consistent for generated
+// component sequences.
+func TestQuickCompareOrd(t *testing.T) {
+	f := func(a, b []string) bool {
+		oa, ob := MakeOrd(clean(a)...), MakeOrd(clean(b)...)
+		x, y := CompareOrd(oa, ob), CompareOrd(ob, oa)
+		return x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clean(ss []string) []string {
+	out := make([]string, 0, len(ss))
+	for _, s := range ss {
+		if s != string(NoOrd) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "x")
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package xat
+
+import (
+	"xqview/internal/flexkey"
+	"xqview/internal/xmldoc"
+	"xqview/internal/xpath"
+)
+
+// evalPathItems navigates path from the node start, returning result items
+// in document order. Element targets become node items; attribute targets
+// and text() targets become value items that retain their node identity.
+func evalPathItems(r xmldoc.Reader, start flexkey.Key, path *xpath.Path) []Item {
+	return evalPathItemsPruned(r, start, path, nil, "")
+}
+
+// evalPathItemsPruned is evalPathItems with an optional per-step pruning
+// predicate: after every element step, only candidates for which keep
+// returns true survive. When anchor is set, predicate-free child steps from
+// the anchor's ancestor chain jump directly along the chain instead of
+// scanning siblings; the propagate phase thus navigates a batch of k
+// updates in O(k·(depth + fragment)) instead of k full document scans.
+func evalPathItemsPruned(r xmldoc.Reader, start flexkey.Key, path *xpath.Path, keep func(flexkey.Key) bool, anchor flexkey.Key) []Item {
+	curElems := []flexkey.Key{start}
+	var curItems []Item // non-element results (attr values, text)
+	for si := range path.Steps {
+		st := &path.Steps[si]
+		switch st.Kind {
+		case xpath.ElemTest:
+			one := &xpath.Path{Steps: []xpath.Step{*st}}
+			var next []flexkey.Key
+			seen := make(map[flexkey.Key]bool)
+			add := func(k flexkey.Key) {
+				if keep != nil && !keep(k) {
+					return
+				}
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, k)
+				}
+			}
+			for _, c := range curElems {
+				// Fast path: from a node on the pruning anchor's ancestor
+				// chain, a predicate-free child step can jump straight to
+				// the next key segment on that chain — no sibling scan.
+				if anchor != "" && len(st.Preds) == 0 && st.Axis == xpath.Child &&
+					flexkey.IsAncestorOf(c, anchor) {
+					k := flexkey.Prefix(anchor, flexkey.Depth(c)+1)
+					if n, ok := r.Node(k); ok && n.Kind == xmldoc.Element &&
+						(st.Name == "*" || n.Name == st.Name) {
+						add(k)
+					}
+					continue
+				}
+				for _, k := range xpath.Eval(r, c, one) {
+					add(k)
+				}
+			}
+			curElems = next
+		case xpath.AttrTest:
+			curItems = nil
+			for _, c := range curElems {
+				if st.Axis == xpath.Descendant {
+					for _, e := range append([]flexkey.Key{c}, xmldoc.DescendantElems(r, c, "*")...) {
+						if a, ok := xmldoc.Attribute(r, e, st.Name); ok {
+							curItems = append(curItems, attrItem(r, a))
+						}
+					}
+				} else if a, ok := xmldoc.Attribute(r, c, st.Name); ok {
+					curItems = append(curItems, attrItem(r, a))
+				}
+			}
+			curElems = nil
+		case xpath.TextTest:
+			if curElems == nil {
+				// text() over attribute items: the attribute's value.
+				// Items already carry the value; keep them.
+				continue
+			}
+			curItems = nil
+			for _, c := range curElems {
+				for _, tk := range xmldoc.TextChildren(r, c) {
+					n, _ := r.Node(tk)
+					curItems = append(curItems, Item{ID: BaseID(tk), Val: n.Value, IsVal: true})
+				}
+			}
+			curElems = nil
+		}
+		if curElems == nil && curItems == nil {
+			return nil
+		}
+	}
+	if curElems != nil {
+		out := make([]Item, len(curElems))
+		for i, k := range curElems {
+			out[i] = NodeItem(k, 0)
+		}
+		return out
+	}
+	return curItems
+}
+
+func attrItem(r xmldoc.Reader, a flexkey.Key) Item {
+	n, _ := r.Node(a)
+	return Item{ID: BaseID(a), Val: n.Value, IsVal: true}
+}

@@ -1,0 +1,124 @@
+package xat
+
+// Optimize implements the Minimum Schema reduction of Sec 2.4/3.4.2: each
+// operator only carries the columns its consumers can still observe. In
+// this algebra the only operators that copy columns forward by policy are
+// the GroupBys (their CarryCols pass functionally-dependent outer columns
+// through); pruning them shrinks every tuple above the group boundary.
+//
+// A column is needed if a consumer reads it directly (conditions, grouping,
+// ordering, patterns, navigation entry points, expose) or indirectly
+// through schema annotations: the Table Order Schema (overriding-order
+// composition reads those cells) and the Context Schema's lineage/order
+// references (semantic identifiers are generated from them).
+//
+// Optimize edits the plan in place and re-runs Analyze.
+func Optimize(p *Plan) (*Plan, error) {
+	root := p.Root
+	needed := map[*Op]map[string]bool{}
+	var walk func(o *Op, req map[string]bool)
+	walk = func(o *Op, req map[string]bool) {
+		r := needed[o]
+		if r == nil {
+			r = map[string]bool{}
+			needed[o] = r
+		}
+		for c := range req {
+			r[c] = true
+		}
+		// Columns the operator itself consumes.
+		consume := map[string]bool{}
+		add := func(cols ...string) {
+			for _, c := range cols {
+				if c != "" {
+					consume[c] = true
+				}
+			}
+		}
+		add(o.InCol)
+		add(o.GroupCols...)
+		add(o.OrderCols...)
+		add(o.UnionCols...)
+		for _, cmp := range o.Conds {
+			if !cmp.L.IsLit {
+				add(cmp.L.Col)
+			}
+			if !cmp.R.IsLit {
+				add(cmp.R.Col)
+			}
+		}
+		if o.Pattern != nil {
+			for _, part := range o.Pattern.Content {
+				if part.IsCol {
+					add(part.Col)
+				}
+			}
+			for _, a := range o.Pattern.Attrs {
+				for _, part := range a.Parts {
+					if part.IsCol {
+						add(part.Col)
+					}
+				}
+			}
+		}
+		// The Table Order Schema feeds overriding-order composition.
+		add(o.OrderSchema...)
+		// Context Schema references: close over lineage and order columns of
+		// every needed column.
+		for {
+			before := len(consume)
+			for c := range r {
+				consume[c] = true
+			}
+			for c := range consume {
+				if cs := o.Ctx[c]; cs != nil {
+					add(cs.OrderCols...)
+					add(cs.LngCols...)
+				}
+			}
+			if len(consume) == before {
+				break
+			}
+			for c := range consume {
+				r[c] = true
+			}
+		}
+		// Prune this operator's carried columns against what is needed
+		// above it.
+		if o.Kind == OpGroupBy && len(o.CarryCols) > 0 {
+			var kept []string
+			for _, c := range o.CarryCols {
+				if r[c] || consume[c] {
+					kept = append(kept, c)
+				}
+			}
+			o.CarryCols = kept
+		}
+		// Requirements for the inputs: everything consumed or passed
+		// through, restricted per input to its own output columns.
+		downstream := map[string]bool{}
+		for c := range r {
+			downstream[c] = true
+		}
+		for c := range consume {
+			downstream[c] = true
+		}
+		for _, in := range o.Inputs {
+			req := map[string]bool{}
+			for _, c := range in.OutCols {
+				if downstream[c] {
+					req[c] = true
+				}
+			}
+			walk(in, req)
+		}
+	}
+	rootReq := map[string]bool{}
+	if root.InCol != "" {
+		rootReq[root.InCol] = true
+	} else if n := len(root.OutCols); n > 0 {
+		rootReq[root.OutCols[n-1]] = true
+	}
+	walk(root, rootReq)
+	return Analyze(root)
+}

@@ -1,0 +1,78 @@
+package xat
+
+// This file implements the runtime order-key machinery of Ch 3/4: composing
+// overriding-order keys from the Order Schema (Fig 3.3 "combine"), assigning
+// them during Combine/GroupBy (Fig 4.3 assignOverRidOrd), and prefixing
+// union branch ids (Fig 4.5 assignColIdPrfx).
+
+// orderComponents flattens a cell into order-key components: the order key
+// of its (singleton) item. Cells on the Order Schema never hold sequences
+// (Thm 3.3.1), but we are defensive about empty (null-padded) cells.
+func orderComponents(c Cell) []string {
+	if len(c) == 0 {
+		return []string{""}
+	}
+	it := c[0]
+	if it.IsVal && it.ID.Body == "" {
+		return []string{it.Val}
+	}
+	o := it.ID.Order()
+	if o == NoOrd {
+		return []string{""}
+	}
+	if o == "" {
+		return []string{it.ID.Body}
+	}
+	return o.Components()
+}
+
+// orderByComponents returns the order-by key components of a cell: the
+// atomic values of its items (order by sorts on values, not keys).
+func orderByComponents(env *Env, c Cell) []string {
+	out := make([]string, 0, len(c))
+	for _, it := range c {
+		out = append(out, env.value(it))
+	}
+	if len(out) == 0 {
+		out = append(out, "")
+	}
+	return out
+}
+
+// combineOrd computes the overriding order assigned to an item of column
+// col when its tuple tp (from a table with order schema os and column list
+// cols) is combined into a sequence (Fig 3.3). isOrderBy indicates that os
+// columns come from an Order By operator and must be compared by value.
+func combineOrd(env *Env, tbl *Table, os []string, tp *Tuple, col string, item Item, byValue bool) Ord {
+	if len(os) == 0 {
+		// No table order: tuples are unordered; preserve any order already on
+		// the item, else mark explicitly unordered.
+		if item.ID.Order().IsSet() {
+			return item.ID.Order()
+		}
+		return NoOrd
+	}
+	var comps []string
+	inOS := false
+	for _, oc := range os {
+		if oc == col {
+			inOS = true
+		}
+		cell := tbl.Cell(tp, oc)
+		if byValue {
+			comps = append(comps, orderByComponents(env, cell)...)
+		} else {
+			comps = append(comps, orderComponents(cell)...)
+		}
+	}
+	if !inOS {
+		// Append the item's own order as minor key (Fig 3.3 second case).
+		o := item.ID.Order()
+		if o.IsSet() {
+			comps = append(comps, o.Components()...)
+		} else if o == Ord("") && item.ID.Body != "" {
+			comps = append(comps, item.ID.Body)
+		}
+	}
+	return MakeOrd(comps...)
+}

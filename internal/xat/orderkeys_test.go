@@ -1,0 +1,96 @@
+package xat
+
+import (
+	"testing"
+
+	"xqview/internal/xmldoc"
+)
+
+func mkTable(cols ...string) *Table { return NewTable(cols...) }
+
+func TestOrderComponentsVariants(t *testing.T) {
+	// Empty (null-padded) cell yields an empty component.
+	if got := orderComponents(nil); len(got) != 1 || got[0] != "" {
+		t.Fatalf("nil cell: %v", got)
+	}
+	// Pure value item: the value.
+	if got := orderComponents(Cell{ValueItem("1994", 0)}); got[0] != "1994" {
+		t.Fatalf("value item: %v", got)
+	}
+	// Base node item: its FlexKey.
+	if got := orderComponents(Cell{NodeItem("b.b.f", 0)}); got[0] != "b.b.f" {
+		t.Fatalf("node item: %v", got)
+	}
+	// Overriding order wins over identity.
+	it := NodeItem("b.b.f", 0)
+	it.ID.Ord = MakeOrd("z", "y")
+	if got := orderComponents(Cell{it}); len(got) != 2 || got[0] != "z" {
+		t.Fatalf("override: %v", got)
+	}
+	// Unordered constructed node: a blank component.
+	c := Item{ID: ConstructedID(1, []string{"x"})}
+	if got := orderComponents(Cell{c}); got[0] != "" {
+		t.Fatalf("unordered: %v", got)
+	}
+}
+
+// TestCombineOrdFig33 exercises the combine function of Fig 3.3: order keys
+// composed from the input table's Order Schema.
+func TestCombineOrdFig33(t *testing.T) {
+	env := NewEnv(xmldoc.NewStore())
+	tbl := mkTable("$b", "$e", "$x")
+	tp := NewTuple(
+		Cell{NodeItem("b.b", 0)},
+		Cell{NodeItem("e.f", 0)},
+		Cell{NodeItem("q.q", 0)},
+	)
+	// Column not in OS: OS keys then the item's own order (minor key).
+	ord := combineOrd(env, tbl, []string{"$b", "$e"}, tp, "$x", tp.Cells[2][0], false)
+	comps := ord.Components()
+	if len(comps) != 3 || comps[0] != "b.b" || comps[1] != "e.f" || comps[2] != "q.q" {
+		t.Fatalf("combine ord: %v", comps)
+	}
+	// Column in OS: only the OS keys.
+	ord = combineOrd(env, tbl, []string{"$b", "$e"}, tp, "$e", tp.Cells[1][0], false)
+	comps = ord.Components()
+	if len(comps) != 2 || comps[1] != "e.f" {
+		t.Fatalf("combine ord (in OS): %v", comps)
+	}
+	// Empty OS: base items keep their identity (document) order; constructed
+	// items without an order become explicitly unordered.
+	if got := combineOrd(env, tbl, nil, tp, "$x", tp.Cells[2][0], false); got != Ord("q.q") {
+		t.Fatalf("no OS base item: %q", got)
+	}
+	cons := Item{ID: ConstructedID(9, []string{"x"})}
+	if got := combineOrd(env, tbl, nil, tp, "$x", cons, false); got != NoOrd {
+		t.Fatalf("no OS constructed: %q", got)
+	}
+	withOrd := tp.Cells[2][0]
+	withOrd.ID.Ord = MakeOrd("k")
+	if got := combineOrd(env, tbl, nil, tp, "$x", withOrd, false); got != MakeOrd("k") {
+		t.Fatalf("no OS with own ord: %q", got)
+	}
+}
+
+func TestCombineOrdByValue(t *testing.T) {
+	s := xmldoc.NewStore()
+	if _, err := s.Load("d", `<d><a>beta</a></d>`); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := s.RootElem("d")
+	a := xmldoc.ChildElems(s, root, "a")[0]
+	env := NewEnv(s)
+	tbl := mkTable("$v", "$x")
+	tp := NewTuple(Cell{NodeItem(a, 0)}, Cell{ValueItem("x", 0)})
+	// By-value OS columns resolve node items to their string values
+	// (order-by semantics).
+	ord := combineOrd(env, tbl, []string{"$v"}, tp, "$x", tp.Cells[1][0], true)
+	if comps := ord.Components(); comps[0] != "beta" {
+		t.Fatalf("by-value ord: %v", comps)
+	}
+	// By-key resolution uses the FlexKey instead.
+	ord = combineOrd(env, tbl, []string{"$v"}, tp, "$x", tp.Cells[1][0], false)
+	if comps := ord.Components(); comps[0] != string(a) {
+		t.Fatalf("by-key ord: %v", comps)
+	}
+}

@@ -1,0 +1,72 @@
+package xat
+
+import (
+	"testing"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/xpath"
+)
+
+// setOpPipeline builds: books → Φ(title∪author paths) columns → set op.
+func setOpPipeline(kind OpKind) *Op {
+	books := booksPipeline()
+	all := &Op{Kind: OpNavCollection, InCol: "$b", OutCol: "$all",
+		Path: xpath.MustParse("*"), Inputs: []*Op{books}}
+	titles := &Op{Kind: OpNavCollection, InCol: "$b", OutCol: "$t",
+		Path: xpath.MustParse("title"), Inputs: []*Op{all}}
+	return &Op{Kind: kind, OutCol: "$res",
+		UnionCols: []string{"$all", "$t"}, Inputs: []*Op{titles}}
+}
+
+func TestXMLDifference(t *testing.T) {
+	s := execStore(t)
+	tbl, _ := runTable(t, s, setOpPipeline(OpXMLDifference))
+	for _, tp := range tbl.Tuples {
+		res := tbl.Cell(tp, "$res")
+		// Each book has children {title, price}; all − titles = {price}.
+		if len(res) != 1 {
+			t.Fatalf("difference size: %d", len(res))
+		}
+		n, _ := s.Node(flexkey.Key(res[0].ID.Body))
+		if n.Name != "price" {
+			t.Fatalf("difference kept %s", n.Name)
+		}
+	}
+}
+
+func TestXMLIntersection(t *testing.T) {
+	s := execStore(t)
+	tbl, _ := runTable(t, s, setOpPipeline(OpXMLIntersection))
+	for _, tp := range tbl.Tuples {
+		res := tbl.Cell(tp, "$res")
+		if len(res) != 1 {
+			t.Fatalf("intersection size: %d", len(res))
+		}
+		n, _ := s.Node(flexkey.Key(res[0].ID.Body))
+		if n.Name != "title" {
+			t.Fatalf("intersection kept %s", n.Name)
+		}
+		if res[0].ID.Ord != "" {
+			t.Fatal("set ops must return document order (no overriding order)")
+		}
+	}
+}
+
+func TestXMLSetOpsDocumentOrder(t *testing.T) {
+	s := execStore(t)
+	// all ∩ all = all, in document order even if inputs were reordered.
+	books := booksPipeline()
+	all := &Op{Kind: OpNavCollection, InCol: "$b", OutCol: "$all",
+		Path: xpath.MustParse("*"), Inputs: []*Op{books}}
+	inter := &Op{Kind: OpXMLIntersection, OutCol: "$res",
+		UnionCols: []string{"$all", "$all"}, Inputs: []*Op{all}}
+	tbl, _ := runTable(t, s, inter)
+	for _, tp := range tbl.Tuples {
+		res := tbl.Cell(tp, "$res")
+		for i := 1; i < len(res); i++ {
+			if res[i-1].ID.Body >= res[i].ID.Body {
+				t.Fatalf("not in document order: %v", res)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package xmark generates deterministic synthetic datasets for the
+// experiment harness: an XMark-style auction site document with the element
+// structure of dissertation Fig 3.5 (people/person/profile…,
+// closed_auctions, open_auctions), and the bib/prices document pair of the
+// running example with a controllable join selectivity (Ch 9.3).
+//
+// The dissertation's experiments used the XMark benchmark generator and
+// scaled documents by megabytes; we scale by element counts, which
+// preserves the sweeps' shapes.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xqview/internal/xmldoc"
+)
+
+// SiteConfig scales the generated auction site.
+type SiteConfig struct {
+	Persons        int
+	ClosedAuctions int
+	OpenAuctions   int
+	Seed           int64
+}
+
+// DefaultSite returns a configuration with n persons and proportional
+// auction counts (roughly XMark's ratios).
+func DefaultSite(n int) SiteConfig {
+	return SiteConfig{Persons: n, ClosedAuctions: n / 2, OpenAuctions: n / 2, Seed: 42}
+}
+
+var (
+	cities    = []string{"Tampa", "Lisbon", "Worcester", "Boston", "Aachen", "Kyoto", "Lagos", "Quito"}
+	countries = []string{"United States", "Portugal", "Germany", "Japan", "Nigeria", "Ecuador"}
+	education = []string{"High School", "College", "Graduate School", "Other"}
+	firsts    = []string{"Maged", "Elke", "Murali", "Carolina", "Jayavel", "Katica", "Xin", "Song", "Ling", "Bin"}
+	lasts     = []string{"ElSayed", "Rundensteiner", "Mani", "Ruiz", "Shanmugasundaram", "Dimitrova", "Zhang", "Wang"}
+	interests = []string{"category1", "category2", "category3", "category4", "category5"}
+)
+
+// Site generates the auction document as a fragment tree.
+func Site(cfg SiteConfig) *xmldoc.Frag {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	site := xmldoc.Elem("site")
+
+	people := xmldoc.Elem("people")
+	for i := 0; i < cfg.Persons; i++ {
+		people.Children = append(people.Children, Person(rng, i))
+	}
+	site.Children = append(site.Children, people)
+
+	closed := xmldoc.Elem("closed_auctions")
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		closed.Children = append(closed.Children, ClosedAuction(rng, i, cfg.Persons))
+	}
+	site.Children = append(site.Children, closed)
+
+	open := xmldoc.Elem("open_auctions")
+	for i := 0; i < cfg.OpenAuctions; i++ {
+		open.Children = append(open.Children, OpenAuction(rng, i))
+	}
+	site.Children = append(site.Children, open)
+	return site
+}
+
+// Person generates one person element (Fig 3.5 structure).
+func Person(rng *rand.Rand, i int) *xmldoc.Frag {
+	p := xmldoc.Elem("person",
+		xmldoc.AttrF("id", fmt.Sprintf("person%d", i)),
+		xmldoc.Elem("name",
+			xmldoc.TextF(firsts[rng.Intn(len(firsts))]+" "+lasts[rng.Intn(len(lasts))])),
+		xmldoc.Elem("address",
+			xmldoc.Elem("street", xmldoc.TextF(fmt.Sprintf("%d Main St", 1+rng.Intn(99)))),
+			xmldoc.Elem("city", xmldoc.TextF(cities[rng.Intn(len(cities))])),
+			xmldoc.Elem("country", xmldoc.TextF(countries[rng.Intn(len(countries))]))),
+	)
+	if rng.Intn(2) == 0 {
+		p.Attrs = append(p.Attrs, xmldoc.AttrF("income", fmt.Sprintf("%d", 20000+rng.Intn(80000))))
+	}
+	profile := xmldoc.Elem("profile",
+		xmldoc.Elem("gender", xmldoc.TextF([]string{"male", "female"}[rng.Intn(2)])),
+		xmldoc.Elem("business", xmldoc.TextF([]string{"Yes", "No"}[rng.Intn(2)])),
+	)
+	if rng.Intn(2) == 0 {
+		profile.Children = append([]*xmldoc.Frag{
+			xmldoc.Elem("education", xmldoc.TextF(education[rng.Intn(len(education))]))},
+			profile.Children...)
+	}
+	if rng.Intn(2) == 0 {
+		profile.Children = append(profile.Children,
+			xmldoc.Elem("age", xmldoc.TextF(fmt.Sprintf("%d", 18+rng.Intn(60)))))
+	}
+	p.Children = append(p.Children, profile)
+	if rng.Intn(3) == 0 {
+		p.Children = append(p.Children,
+			xmldoc.Elem("interest", xmldoc.AttrF("category", interests[rng.Intn(len(interests))])))
+	}
+	return p
+}
+
+// ClosedAuction generates one closed auction referencing random persons.
+func ClosedAuction(rng *rand.Rand, i, persons int) *xmldoc.Frag {
+	ref := func() string {
+		if persons == 0 {
+			return "person0"
+		}
+		return fmt.Sprintf("person%d", rng.Intn(persons))
+	}
+	return xmldoc.Elem("closed_auction",
+		xmldoc.Elem("seller", xmldoc.AttrF("person", ref())),
+		xmldoc.Elem("buyer", xmldoc.AttrF("person", ref())),
+		xmldoc.Elem("date", xmldoc.TextF(fmt.Sprintf("%02d/%02d/%d", 1+rng.Intn(12), 1+rng.Intn(28), 1998+rng.Intn(8)))),
+	)
+}
+
+// OpenAuction generates one open auction.
+func OpenAuction(rng *rand.Rand, i int) *xmldoc.Frag {
+	return xmldoc.Elem("open_auction",
+		xmldoc.AttrF("id", fmt.Sprintf("open%d", i)),
+		xmldoc.Elem("initial", xmldoc.TextF(fmt.Sprintf("%d.%02d", 1+rng.Intn(200), rng.Intn(100)))),
+		xmldoc.Elem("reserve", xmldoc.TextF(fmt.Sprintf("%d.%02d", 1+rng.Intn(400), rng.Intn(100)))),
+	)
+}
+
+// LoadSite generates and loads a site document into a fresh store.
+func LoadSite(cfg SiteConfig) (*xmldoc.Store, error) {
+	s := xmldoc.NewStore()
+	if _, err := s.LoadFragment("site.xml", Site(cfg)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BibConfig scales the bib/prices pair of the running example.
+type BibConfig struct {
+	Books int
+	// Years is the number of distinct publication years (group count).
+	Years int
+	// Selectivity is the fraction of books that have a matching price entry
+	// (the join selectivity knob of Fig 9.3).
+	Selectivity float64
+	Seed        int64
+}
+
+// DefaultBib returns a configuration with n books over 8 years and full
+// join selectivity.
+func DefaultBib(n int) BibConfig {
+	return BibConfig{Books: n, Years: 8, Selectivity: 1.0, Seed: 7}
+}
+
+// Bib generates the bib document; book i has title "Title-i".
+func Bib(cfg BibConfig) *xmldoc.Frag {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bib := xmldoc.Elem("bib")
+	years := cfg.Years
+	if years <= 0 {
+		years = 1
+	}
+	for i := 0; i < cfg.Books; i++ {
+		bib.Children = append(bib.Children, xmldoc.Elem("book",
+			xmldoc.AttrF("year", fmt.Sprintf("%d", 1990+rng.Intn(years))),
+			xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("Title-%d", i))),
+			xmldoc.Elem("author",
+				xmldoc.Elem("last", xmldoc.TextF(lasts[rng.Intn(len(lasts))])),
+				xmldoc.Elem("first", xmldoc.TextF(firsts[rng.Intn(len(firsts))]))),
+		))
+	}
+	return bib
+}
+
+// Prices generates the prices document: Selectivity*Books entries match
+// book titles, the rest reference unknown titles.
+func Prices(cfg BibConfig) *xmldoc.Frag {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	prices := xmldoc.Elem("prices")
+	matched := int(float64(cfg.Books) * cfg.Selectivity)
+	for i := 0; i < cfg.Books; i++ {
+		title := fmt.Sprintf("Title-%d", i)
+		if i >= matched {
+			title = fmt.Sprintf("Unmatched-%d", i)
+		}
+		prices.Children = append(prices.Children, xmldoc.Elem("entry",
+			xmldoc.Elem("price", xmldoc.TextF(fmt.Sprintf("%d.%02d", 10+rng.Intn(90), rng.Intn(100)))),
+			xmldoc.Elem("b-title", xmldoc.TextF(title)),
+		))
+	}
+	return prices
+}
+
+// LoadBib generates and loads the bib/prices pair into a fresh store.
+func LoadBib(cfg BibConfig) (*xmldoc.Store, error) {
+	s := xmldoc.NewStore()
+	if _, err := s.LoadFragment("bib.xml", Bib(cfg)); err != nil {
+		return nil, err
+	}
+	if _, err := s.LoadFragment("prices.xml", Prices(cfg)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

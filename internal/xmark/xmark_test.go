@@ -1,0 +1,91 @@
+package xmark
+
+import (
+	"testing"
+
+	"xqview/internal/xmldoc"
+	"xqview/internal/xpath"
+)
+
+func TestSiteStructure(t *testing.T) {
+	s, err := LoadSite(DefaultSite(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := s.RootElem("site.xml")
+	eval := func(expr string) int {
+		return len(xpath.Eval(s, root, xpath.MustParse(expr)))
+	}
+	if got := eval("people/person"); got != 40 {
+		t.Fatalf("persons: %d", got)
+	}
+	if got := eval("closed_auctions/closed_auction"); got != 20 {
+		t.Fatalf("closed: %d", got)
+	}
+	if got := eval("open_auctions/open_auction"); got != 20 {
+		t.Fatalf("open: %d", got)
+	}
+	// Every person has the Fig 3.5 core structure.
+	if got := eval("people/person/name"); got != 40 {
+		t.Fatalf("names: %d", got)
+	}
+	if got := eval("people/person/address/city"); got != 40 {
+		t.Fatalf("cities: %d", got)
+	}
+	if got := eval("people/person/profile"); got != 40 {
+		t.Fatalf("profiles: %d", got)
+	}
+	// Sellers reference generated persons.
+	if got := eval("closed_auctions/closed_auction/seller"); got != 20 {
+		t.Fatalf("sellers: %d", got)
+	}
+}
+
+func TestSiteDeterministic(t *testing.T) {
+	a := Site(DefaultSite(10)).String()
+	b := Site(DefaultSite(10)).String()
+	if a != b {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestBibSelectivity(t *testing.T) {
+	for _, sel := range []float64{0, 0.25, 0.5, 1.0} {
+		cfg := DefaultBib(40)
+		cfg.Selectivity = sel
+		s, err := LoadBib(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bib, _ := s.RootElem("bib.xml")
+		prices, _ := s.RootElem("prices.xml")
+		books := xpath.Eval(s, bib, xpath.MustParse("book/title"))
+		titleSet := map[string]bool{}
+		for _, b := range books {
+			titleSet[xmldoc.StringValue(s, b)] = true
+		}
+		matched := 0
+		for _, e := range xpath.Eval(s, prices, xpath.MustParse("entry/b-title")) {
+			if titleSet[xmldoc.StringValue(s, e)] {
+				matched++
+			}
+		}
+		want := int(40 * sel)
+		if matched != want {
+			t.Fatalf("selectivity %v: matched %d want %d", sel, matched, want)
+		}
+	}
+}
+
+func TestBibScales(t *testing.T) {
+	for _, n := range []int{1, 10, 100} {
+		s, err := LoadBib(DefaultBib(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bib, _ := s.RootElem("bib.xml")
+		if got := len(xmldoc.ChildElems(s, bib, "book")); got != n {
+			t.Fatalf("books: %d want %d", got, n)
+		}
+	}
+}

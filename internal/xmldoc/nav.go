@@ -1,0 +1,173 @@
+package xmldoc
+
+import (
+	"strings"
+
+	"xqview/internal/flexkey"
+)
+
+// ChildElems returns the element children of k named name (or all element
+// children when name == "*"), in document order.
+func ChildElems(r Reader, k flexkey.Key, name string) []flexkey.Key {
+	var out []flexkey.Key
+	for _, c := range r.Children(k) {
+		n, ok := r.Node(c)
+		if !ok || n.Kind != Element {
+			continue
+		}
+		if name == "*" || n.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DescendantElems returns all element descendants of k named name (or all
+// when name == "*"), in document order.
+func DescendantElems(r Reader, k flexkey.Key, name string) []flexkey.Key {
+	var out []flexkey.Key
+	var walk func(flexkey.Key)
+	walk = func(p flexkey.Key) {
+		for _, c := range r.Children(p) {
+			if n, ok := r.Node(c); ok && n.Kind == Element {
+				if name == "*" || n.Name == name {
+					out = append(out, c)
+				}
+				walk(c)
+			}
+		}
+	}
+	walk(k)
+	return out
+}
+
+// Attribute returns the attribute node of k with the given name.
+func Attribute(r Reader, k flexkey.Key, name string) (flexkey.Key, bool) {
+	for _, a := range r.Attrs(k) {
+		if n, ok := r.Node(a); ok && n.Name == name {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// TextChildren returns the text-node children of k in document order.
+func TextChildren(r Reader, k flexkey.Key) []flexkey.Key {
+	var out []flexkey.Key
+	for _, c := range r.Children(k) {
+		if n, ok := r.Node(c); ok && n.Kind == Text {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// StringValue returns the XPath string value of a node: for text and
+// attribute nodes their value, for elements the concatenation of all
+// descendant text in document order.
+func StringValue(r Reader, k flexkey.Key) string {
+	n, ok := r.Node(k)
+	if !ok {
+		return ""
+	}
+	switch n.Kind {
+	case Text, Attr:
+		return n.Value
+	}
+	var b strings.Builder
+	var walk func(flexkey.Key)
+	walk = func(p flexkey.Key) {
+		for _, c := range r.Children(p) {
+			cn, ok := r.Node(c)
+			if !ok {
+				continue
+			}
+			if cn.Kind == Text {
+				b.WriteString(cn.Value)
+			} else if cn.Kind == Element {
+				walk(c)
+			}
+		}
+	}
+	walk(k)
+	return b.String()
+}
+
+// SubtreeFrag extracts the subtree rooted at k as a detached fragment.
+func SubtreeFrag(r Reader, k flexkey.Key) *Frag {
+	n, ok := r.Node(k)
+	if !ok {
+		return nil
+	}
+	f := &Frag{Kind: n.Kind, Name: n.Name, Value: n.Value}
+	for _, a := range r.Attrs(k) {
+		if an, ok := r.Node(a); ok {
+			f.Attrs = append(f.Attrs, &Frag{Kind: Attr, Name: an.Name, Value: an.Value})
+		}
+	}
+	for _, c := range r.Children(k) {
+		if cf := SubtreeFrag(r, c); cf != nil {
+			f.Children = append(f.Children, cf)
+		}
+	}
+	return f
+}
+
+// Serialize renders the subtree at k as compact XML.
+func Serialize(r Reader, k flexkey.Key) string {
+	f := SubtreeFrag(r, k)
+	if f == nil {
+		return ""
+	}
+	return f.String()
+}
+
+// SubtreeSize returns the number of nodes (element, text, attr) in the
+// subtree rooted at k, including k.
+func SubtreeSize(r Reader, k flexkey.Key) int {
+	n := 1 + len(r.Attrs(k))
+	for _, c := range r.Children(k) {
+		n += SubtreeSize(r, c)
+	}
+	return n
+}
+
+// Layered is a Reader that resolves keys in the overlay first, then in the
+// base store. It is used during the propagate phase: inserted fragments live
+// in the overlay while base documents still reflect the pre-update state.
+type Layered struct {
+	Base    Reader
+	Overlay Reader
+}
+
+// Node implements Reader.
+func (l Layered) Node(k flexkey.Key) (*Node, bool) {
+	if n, ok := l.Overlay.Node(k); ok {
+		return n, true
+	}
+	return l.Base.Node(k)
+}
+
+// Children implements Reader.
+func (l Layered) Children(k flexkey.Key) []flexkey.Key {
+	if _, ok := l.Overlay.Node(k); ok {
+		return l.Overlay.Children(k)
+	}
+	return l.Base.Children(k)
+}
+
+// Attrs implements Reader.
+func (l Layered) Attrs(k flexkey.Key) []flexkey.Key {
+	if _, ok := l.Overlay.Node(k); ok {
+		return l.Overlay.Attrs(k)
+	}
+	return l.Base.Attrs(k)
+}
+
+// Root implements Reader.
+func (l Layered) Root(doc string) (flexkey.Key, bool) {
+	if k, ok := l.Overlay.Root(doc); ok {
+		return k, true
+	}
+	return l.Base.Root(doc)
+}

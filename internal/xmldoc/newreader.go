@@ -1,0 +1,87 @@
+package xmldoc
+
+import (
+	"sort"
+
+	"xqview/internal/flexkey"
+)
+
+// UpdatedReader presents the post-update state of a store without mutating
+// it: staged inserted fragments (in the overlay) appear under their parents,
+// deleted subtrees disappear, and replaced values read as their new values.
+// The propagate phase navigates inserted regions and evaluates predicates
+// over new content through this reader while the base store keeps the
+// pre-update state (Ch 7: IMPs reference both old and new source states).
+type UpdatedReader struct {
+	Base    *Store
+	Overlay *Store
+	// InsertedUnder maps a base parent key to the staged fragment root keys
+	// inserted under it.
+	InsertedUnder map[flexkey.Key][]flexkey.Key
+	// Deleted holds the roots of deleted subtrees.
+	Deleted map[flexkey.Key]bool
+	// Replaced maps text/attribute node keys to their new values.
+	Replaced map[flexkey.Key]string
+}
+
+// NewUpdatedReader builds an empty updated view over base and overlay.
+func NewUpdatedReader(base, overlay *Store) *UpdatedReader {
+	return &UpdatedReader{
+		Base:          base,
+		Overlay:       overlay,
+		InsertedUnder: map[flexkey.Key][]flexkey.Key{},
+		Deleted:       map[flexkey.Key]bool{},
+		Replaced:      map[flexkey.Key]string{},
+	}
+}
+
+// Node implements Reader.
+func (u *UpdatedReader) Node(k flexkey.Key) (*Node, bool) {
+	if n, ok := u.Overlay.Node(k); ok {
+		return n, true
+	}
+	n, ok := u.Base.Node(k)
+	if !ok {
+		return nil, false
+	}
+	if v, rep := u.Replaced[k]; rep {
+		nn := *n
+		nn.Value = v
+		return &nn, true
+	}
+	return n, ok
+}
+
+// Children implements Reader, merging staged inserts and hiding deletions.
+func (u *UpdatedReader) Children(k flexkey.Key) []flexkey.Key {
+	if _, ok := u.Overlay.Node(k); ok {
+		return u.Overlay.Children(k)
+	}
+	base := u.Base.Children(k)
+	ins := u.InsertedUnder[k]
+	if len(ins) == 0 && len(u.Deleted) == 0 {
+		return base
+	}
+	out := make([]flexkey.Key, 0, len(base)+len(ins))
+	for _, c := range base {
+		if !u.Deleted[c] {
+			out = append(out, c)
+		}
+	}
+	out = append(out, ins...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Attrs implements Reader.
+func (u *UpdatedReader) Attrs(k flexkey.Key) []flexkey.Key {
+	if _, ok := u.Overlay.Node(k); ok {
+		return u.Overlay.Attrs(k)
+	}
+	return u.Base.Attrs(k)
+}
+
+// Root implements Reader.
+func (u *UpdatedReader) Root(doc string) (flexkey.Key, bool) {
+	return u.Base.Root(doc)
+}

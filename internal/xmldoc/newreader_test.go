@@ -1,0 +1,104 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+
+	"xqview/internal/flexkey"
+)
+
+func updatedSetup(t *testing.T) (*Store, *Store, *UpdatedReader, flexkey.Key) {
+	t.Helper()
+	base := NewStore()
+	root, err := base.Load("bib.xml", bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay := NewStore()
+	return base, overlay, NewUpdatedReader(base, overlay), root
+}
+
+func TestUpdatedReaderInserts(t *testing.T) {
+	base, overlay, ur, root := updatedSetup(t)
+	books := ChildElems(base, root, "book")
+	k := flexkey.SiblingBetween(root, books[1], "")
+	overlay.StageFragment(k, Elem("book", Elem("title", TextF("Staged"))))
+	ur.InsertedUnder[root] = []flexkey.Key{k}
+
+	got := ChildElems(ur, root, "book")
+	if len(got) != 3 || got[2] != k {
+		t.Fatalf("staged insert not visible: %v", got)
+	}
+	if v := StringValue(ur, k); v != "Staged" {
+		t.Fatalf("staged content: %q", v)
+	}
+	// Base store untouched.
+	if len(ChildElems(base, root, "book")) != 2 {
+		t.Fatal("base store mutated")
+	}
+}
+
+func TestUpdatedReaderDeletes(t *testing.T) {
+	base, _, ur, root := updatedSetup(t)
+	books := ChildElems(base, root, "book")
+	ur.Deleted[books[0]] = true
+	got := ChildElems(ur, root, "book")
+	if len(got) != 1 || got[0] != books[1] {
+		t.Fatalf("deletion not hidden: %v", got)
+	}
+	// The deleted subtree itself stays readable (deletion only unlinks the
+	// root from its parent) — the propagate phase depends on this.
+	if v := StringValue(ur, books[0]); !strings.Contains(v, "TCP/IP") {
+		t.Fatalf("deleted subtree unreadable: %q", v)
+	}
+}
+
+func TestUpdatedReaderReplaces(t *testing.T) {
+	base, _, ur, root := updatedSetup(t)
+	books := ChildElems(base, root, "book")
+	titles := ChildElems(base, books[0], "title")
+	texts := TextChildren(base, titles[0])
+	ur.Replaced[texts[0]] = "New Title"
+	if v := StringValue(ur, titles[0]); v != "New Title" {
+		t.Fatalf("replace not visible: %q", v)
+	}
+	// Base unchanged.
+	if v := StringValue(base, titles[0]); v == "New Title" {
+		t.Fatal("base store mutated")
+	}
+	// Attribute replace too.
+	ak, _ := Attribute(base, books[0], "year")
+	ur.Replaced[ak] = "2024"
+	if v := StringValue(ur, ak); v != "2024" {
+		t.Fatalf("attr replace: %q", v)
+	}
+}
+
+func TestUpdatedReaderCombined(t *testing.T) {
+	base, overlay, ur, root := updatedSetup(t)
+	books := ChildElems(base, root, "book")
+	// Delete book 1, insert a new one between; children stay sorted.
+	ur.Deleted[books[0]] = true
+	k := flexkey.SiblingBetween(root, books[0], books[1])
+	overlay.StageFragment(k, Elem("book", Elem("title", TextF("Mid"))))
+	ur.InsertedUnder[root] = []flexkey.Key{k}
+	got := ChildElems(ur, root, "book")
+	if len(got) != 2 || got[0] != k || got[1] != books[1] {
+		t.Fatalf("combined view wrong: %v", got)
+	}
+	if got[0] > got[1] {
+		t.Fatal("children unsorted")
+	}
+}
+
+func TestUpdatedReaderRoot(t *testing.T) {
+	base, _, ur, _ := updatedSetup(t)
+	bk, ok1 := base.Root("bib.xml")
+	uk, ok2 := ur.Root("bib.xml")
+	if !ok1 || !ok2 || bk != uk {
+		t.Fatal("root lookup differs")
+	}
+	if _, ok := ur.Root("missing"); ok {
+		t.Fatal("missing doc found")
+	}
+}

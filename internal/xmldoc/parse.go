@@ -1,0 +1,73 @@
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse parses an XML document or fragment with a single root element into a
+// Frag tree. Whitespace-only text between elements is dropped; all other
+// text is preserved verbatim.
+func Parse(src string) (*Frag, error) {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	var stack []*Frag
+	var root *Frag
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			e := &Frag{Kind: Element, Name: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				e.Attrs = append(e.Attrs, &Frag{Kind: Attr, Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmldoc: multiple root elements")
+				}
+				root = e
+			} else {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, e)
+			}
+			stack = append(stack, e)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldoc: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			p := stack[len(stack)-1]
+			// Merge adjacent text nodes.
+			if n := len(p.Children); n > 0 && p.Children[n-1].Kind == Text {
+				p.Children[n-1].Value += s
+				continue
+			}
+			p.Children = append(p.Children, &Frag{Kind: Text, Value: strings.TrimSpace(s)})
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmldoc: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldoc: unclosed element %s", stack[len(stack)-1].Name)
+	}
+	return root, nil
+}

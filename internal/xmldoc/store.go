@@ -1,0 +1,300 @@
+package xmldoc
+
+import (
+	"fmt"
+	"sort"
+
+	"xqview/internal/flexkey"
+)
+
+// Reader is the read-side contract of the storage manager. The query engine
+// and the propagate phase only require Reader; Layered combines a base store
+// with an overlay of pending inserted fragments.
+type Reader interface {
+	// Node returns the node stored under k.
+	Node(k flexkey.Key) (*Node, bool)
+	// Children returns the element/text children of k in document order.
+	Children(k flexkey.Key) []flexkey.Key
+	// Attrs returns the attribute nodes of k in stored order.
+	Attrs(k flexkey.Key) []flexkey.Key
+	// Root returns the root element key of a registered document.
+	Root(doc string) (flexkey.Key, bool)
+}
+
+// Store is the in-memory storage manager. It guarantees the MASS contract
+// the algorithms rely on: children/descendant retrieval in document order
+// and FlexKeys that stay stable under updates.
+type Store struct {
+	nodes    map[flexkey.Key]*Node
+	children map[flexkey.Key][]flexkey.Key // sorted: lexicographic == doc order
+	attrs    map[flexkey.Key][]flexkey.Key
+	parent   map[flexkey.Key]flexkey.Key
+	roots    map[string]flexkey.Key
+	docSeq   int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		nodes:    make(map[flexkey.Key]*Node),
+		children: make(map[flexkey.Key][]flexkey.Key),
+		attrs:    make(map[flexkey.Key][]flexkey.Key),
+		parent:   make(map[flexkey.Key]flexkey.Key),
+		roots:    make(map[string]flexkey.Key),
+	}
+}
+
+// LoadFragment registers a document whose content is the given root element
+// fragment and returns the root key.
+func (s *Store) LoadFragment(doc string, root *Frag) (flexkey.Key, error) {
+	if root == nil || root.Kind != Element {
+		return "", fmt.Errorf("xmldoc: document %q root must be an element", doc)
+	}
+	if _, ok := s.roots[doc]; ok {
+		return "", fmt.Errorf("xmldoc: document %q already loaded", doc)
+	}
+	docKey := flexkey.Key(flexkey.Segment(s.docSeq))
+	s.docSeq++
+	s.roots[doc] = docKey
+	s.nodes[docKey] = &Node{Key: docKey, Kind: Document, Name: doc, Count: 1}
+	rootKey := flexkey.Child(docKey, 0)
+	s.children[docKey] = []flexkey.Key{rootKey}
+	s.insertFragAt(rootKey, docKey, root)
+	return rootKey, nil
+}
+
+// RootElem returns the root element key of a document.
+func (s *Store) RootElem(doc string) (flexkey.Key, bool) {
+	d, ok := s.roots[doc]
+	if !ok {
+		return "", false
+	}
+	cs := s.children[d]
+	if len(cs) == 0 {
+		return "", false
+	}
+	return cs[0], true
+}
+
+// Load parses src as XML and registers it under doc.
+func (s *Store) Load(doc, src string) (flexkey.Key, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("xmldoc: parsing %q: %w", doc, err)
+	}
+	return s.LoadFragment(doc, f)
+}
+
+// insertFragAt stores fragment f under key k with parent p, recursively
+// assigning gapped child keys.
+func (s *Store) insertFragAt(k, p flexkey.Key, f *Frag) {
+	s.nodes[k] = &Node{Key: k, Kind: f.Kind, Name: f.Name, Value: f.Value, Count: 1}
+	if p != "" {
+		s.parent[k] = p
+	}
+	for i, a := range f.Attrs {
+		ak := flexkey.Append(k, "@"+flexkey.Segment(i))
+		s.nodes[ak] = &Node{Key: ak, Kind: Attr, Name: a.Name, Value: a.Value, Count: 1}
+		s.parent[ak] = k
+		s.attrs[k] = append(s.attrs[k], ak)
+	}
+	for i, c := range f.Children {
+		ck := flexkey.Child(k, i)
+		s.children[k] = append(s.children[k], ck)
+		s.insertFragAt(ck, k, c)
+	}
+}
+
+// Node implements Reader.
+func (s *Store) Node(k flexkey.Key) (*Node, bool) {
+	n, ok := s.nodes[k]
+	return n, ok
+}
+
+// MustNode returns the node under k and panics if absent; for internal use
+// where the key is known to exist.
+func (s *Store) MustNode(k flexkey.Key) *Node {
+	n, ok := s.nodes[k]
+	if !ok {
+		panic("xmldoc: missing node " + string(k))
+	}
+	return n
+}
+
+// Children implements Reader.
+func (s *Store) Children(k flexkey.Key) []flexkey.Key { return s.children[k] }
+
+// Attrs implements Reader.
+func (s *Store) Attrs(k flexkey.Key) []flexkey.Key { return s.attrs[k] }
+
+// Root implements Reader.
+func (s *Store) Root(doc string) (flexkey.Key, bool) {
+	k, ok := s.roots[doc]
+	return k, ok
+}
+
+// Docs returns the names of all registered documents.
+func (s *Store) Docs() []string {
+	out := make([]string, 0, len(s.roots))
+	for d := range s.roots {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parent returns the parent key of k ("" for roots).
+func (s *Store) Parent(k flexkey.Key) flexkey.Key { return s.parent[k] }
+
+// InsertFragment inserts fragment f as a child of parent, positioned
+// strictly between siblings after and before (either may be "" for
+// begin/end; both empty appends after the current last child). It returns
+// the key assigned to the fragment root.
+func (s *Store) InsertFragment(parent flexkey.Key, after, before flexkey.Key, f *Frag) (flexkey.Key, error) {
+	if _, ok := s.nodes[parent]; !ok {
+		return "", fmt.Errorf("xmldoc: insert under missing parent %s", parent)
+	}
+	if after == "" && before == "" {
+		if cs := s.children[parent]; len(cs) > 0 {
+			after = cs[len(cs)-1]
+		}
+	}
+	k := flexkey.SiblingBetween(parent, after, before)
+	if _, exists := s.nodes[k]; exists {
+		return "", fmt.Errorf("xmldoc: generated key %s already in use", k)
+	}
+	s.insertChildKeySorted(parent, k)
+	s.insertFragAt(k, parent, f)
+	return k, nil
+}
+
+// InsertFragmentWithKey inserts a fragment whose root key was already
+// assigned (e.g. during update validation, so that the propagate phase and
+// the final source refresh agree on keys).
+func (s *Store) InsertFragmentWithKey(parent, k flexkey.Key, f *Frag) error {
+	if _, ok := s.nodes[parent]; !ok {
+		return fmt.Errorf("xmldoc: insert under missing parent %s", parent)
+	}
+	if _, exists := s.nodes[k]; exists {
+		return fmt.Errorf("xmldoc: key %s already in use", k)
+	}
+	s.insertChildKeySorted(parent, k)
+	s.insertFragAt(k, parent, f)
+	return nil
+}
+
+// StageFragment stores the subtree rooted at key k without linking it to a
+// parent. It is used to stage pending inserted fragments in an overlay
+// store during the propagate phase.
+func (s *Store) StageFragment(k flexkey.Key, f *Frag) {
+	s.insertFragAt(k, "", f)
+}
+
+// Siblings returns the keys immediately before and after k among its
+// parent's children ("" when k is first/last).
+func (s *Store) Siblings(k flexkey.Key) (prev, next flexkey.Key) {
+	p := s.parent[k]
+	if p == "" {
+		return "", ""
+	}
+	cs := s.children[p]
+	for i, c := range cs {
+		if c == k {
+			if i > 0 {
+				prev = cs[i-1]
+			}
+			if i+1 < len(cs) {
+				next = cs[i+1]
+			}
+			return prev, next
+		}
+	}
+	return "", ""
+}
+
+func (s *Store) insertChildKeySorted(parent, k flexkey.Key) {
+	cs := s.children[parent]
+	i := sort.Search(len(cs), func(i int) bool { return cs[i] >= k })
+	cs = append(cs, "")
+	copy(cs[i+1:], cs[i:])
+	cs[i] = k
+	s.children[parent] = cs
+}
+
+// DeleteSubtree removes the node k and its entire subtree.
+func (s *Store) DeleteSubtree(k flexkey.Key) error {
+	if _, ok := s.nodes[k]; !ok {
+		return fmt.Errorf("xmldoc: delete of missing node %s", k)
+	}
+	p := s.parent[k]
+	if p != "" {
+		cs := s.children[p]
+		for i, c := range cs {
+			if c == k {
+				s.children[p] = append(cs[:i:i], cs[i+1:]...)
+				break
+			}
+		}
+		as := s.attrs[p]
+		for i, c := range as {
+			if c == k {
+				s.attrs[p] = append(as[:i:i], as[i+1:]...)
+				break
+			}
+		}
+	}
+	s.deleteRec(k)
+	return nil
+}
+
+func (s *Store) deleteRec(k flexkey.Key) {
+	for _, c := range s.children[k] {
+		s.deleteRec(c)
+	}
+	for _, a := range s.attrs[k] {
+		s.deleteRec(a)
+	}
+	delete(s.children, k)
+	delete(s.attrs, k)
+	delete(s.parent, k)
+	delete(s.nodes, k)
+}
+
+// ReplaceText replaces the value of the text or attribute node k.
+func (s *Store) ReplaceText(k flexkey.Key, v string) error {
+	n, ok := s.nodes[k]
+	if !ok {
+		return fmt.Errorf("xmldoc: replace of missing node %s", k)
+	}
+	if n.Kind == Element {
+		return fmt.Errorf("xmldoc: replace target %s is an element", k)
+	}
+	n.Value = v
+	return nil
+}
+
+// Clone deep-copies the store (used by the recomputation baseline).
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	c.docSeq = s.docSeq
+	for k, n := range s.nodes {
+		nn := *n
+		c.nodes[k] = &nn
+	}
+	for k, v := range s.children {
+		c.children[k] = append([]flexkey.Key(nil), v...)
+	}
+	for k, v := range s.attrs {
+		c.attrs[k] = append([]flexkey.Key(nil), v...)
+	}
+	for k, v := range s.parent {
+		c.parent[k] = v
+	}
+	for d, r := range s.roots {
+		c.roots[d] = r
+	}
+	return c
+}
+
+// Size returns the number of stored nodes.
+func (s *Store) Size() int { return len(s.nodes) }

@@ -1,0 +1,256 @@
+package xmldoc
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"xqview/internal/flexkey"
+)
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+  </book>
+</bib>`
+
+func loadBib(t *testing.T) (*Store, flexkey.Key) {
+	t.Helper()
+	s := NewStore()
+	root, err := s.Load("bib.xml", bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, root
+}
+
+func TestLoadAndNavigate(t *testing.T) {
+	s, root := loadBib(t)
+	n := s.MustNode(root)
+	if n.Name != "bib" || n.Kind != Element {
+		t.Fatalf("root = %+v", n)
+	}
+	books := ChildElems(s, root, "book")
+	if len(books) != 2 {
+		t.Fatalf("got %d books", len(books))
+	}
+	if !flexkey.Less(books[0], books[1]) {
+		t.Fatal("books out of document order")
+	}
+	titles := DescendantElems(s, root, "title")
+	if len(titles) != 2 {
+		t.Fatalf("got %d titles", len(titles))
+	}
+	if got := StringValue(s, titles[0]); got != "TCP/IP Illustrated" {
+		t.Fatalf("title[0] = %q", got)
+	}
+	ak, ok := Attribute(s, books[1], "year")
+	if !ok {
+		t.Fatal("missing year attr")
+	}
+	if got := StringValue(s, ak); got != "2000" {
+		t.Fatalf("year = %q", got)
+	}
+}
+
+func TestStringValueOfElement(t *testing.T) {
+	s, root := loadBib(t)
+	books := ChildElems(s, root, "book")
+	authors := ChildElems(s, books[0], "author")
+	if got := StringValue(s, authors[0]); got != "StevensW." {
+		t.Fatalf("author string value = %q", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	s, root := loadBib(t)
+	out := Serialize(s, root)
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if f2.String() != out {
+		t.Fatalf("round trip mismatch:\n%s\n%s", out, f2.String())
+	}
+	if !strings.Contains(out, `year="1994"`) {
+		t.Fatalf("missing attribute in %s", out)
+	}
+}
+
+func TestInsertFragmentOrder(t *testing.T) {
+	s, root := loadBib(t)
+	books := ChildElems(s, root, "book")
+	frag := Elem("book", AttrF("year", "1994"), Elem("title", TextF("Advanced Programming")))
+	// Insert after book[1] (0-based books[1]) i.e. at the end.
+	k, err := s.InsertFragment(root, books[1], "", frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := ChildElems(s, root, "book")
+	if len(nb) != 3 || nb[2] != k {
+		t.Fatalf("new book misplaced: %v (k=%s)", nb, k)
+	}
+	// Insert between the two original books.
+	frag2 := Elem("book", Elem("title", TextF("Middle")))
+	k2, err := s.InsertFragment(root, books[0], books[1], frag2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb = ChildElems(s, root, "book")
+	if len(nb) != 4 || nb[1] != k2 {
+		t.Fatalf("middle book misplaced: %v (k2=%s)", nb, k2)
+	}
+	keys := make([]string, len(nb))
+	for i, b := range nb {
+		keys[i] = string(b)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("child keys unsorted: %v", keys)
+	}
+}
+
+func TestDeleteSubtree(t *testing.T) {
+	s, root := loadBib(t)
+	books := ChildElems(s, root, "book")
+	before := s.Size()
+	if err := s.DeleteSubtree(books[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := ChildElems(s, root, "book"); len(got) != 1 {
+		t.Fatalf("still %d books", len(got))
+	}
+	// book + attr + title + text + author + last + text + first + text = 9
+	if s.Size() != before-9 {
+		t.Fatalf("size %d -> %d, want -9", before, s.Size())
+	}
+	if _, ok := s.Node(books[0]); ok {
+		t.Fatal("deleted node still present")
+	}
+}
+
+func TestReplaceText(t *testing.T) {
+	s, root := loadBib(t)
+	titles := DescendantElems(s, root, "title")
+	texts := TextChildren(s, titles[0])
+	if len(texts) != 1 {
+		t.Fatalf("want 1 text child, got %d", len(texts))
+	}
+	if err := s.ReplaceText(texts[0], "New Title"); err != nil {
+		t.Fatal(err)
+	}
+	if got := StringValue(s, titles[0]); got != "New Title" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if err := s.ReplaceText(titles[0], "x"); err == nil {
+		t.Fatal("replacing an element should fail")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s, root := loadBib(t)
+	c := s.Clone()
+	books := ChildElems(s, root, "book")
+	if err := s.DeleteSubtree(books[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ChildElems(c, root, "book")); got != 2 {
+		t.Fatalf("clone affected by delete: %d books", got)
+	}
+	if got := len(ChildElems(s, root, "book")); got != 1 {
+		t.Fatalf("original should have 1 book, has %d", got)
+	}
+}
+
+func TestLayeredReader(t *testing.T) {
+	s, root := loadBib(t)
+	overlay := NewStore()
+	// Simulate a pending insert: fragment keyed relative to base siblings but
+	// stored only in the overlay.
+	frag := Elem("book", Elem("title", TextF("Pending")))
+	books := ChildElems(s, root, "book")
+	k := flexkey.SiblingBetween(root, books[1], "")
+	// Build the overlay content under a synthetic parent entry for k.
+	overlay.nodes[k] = &Node{Key: k, Kind: Element, Name: "book", Count: 1}
+	ck := flexkey.Child(k, 0)
+	overlay.children[k] = []flexkey.Key{ck}
+	overlay.nodes[ck] = &Node{Key: ck, Kind: Element, Name: "title", Count: 1}
+	tk := flexkey.Child(ck, 0)
+	overlay.children[ck] = []flexkey.Key{tk}
+	overlay.nodes[tk] = &Node{Key: tk, Kind: Text, Value: "Pending", Count: 1}
+	_ = frag
+
+	l := Layered{Base: s, Overlay: overlay}
+	// Base children unaffected (pre-update view of the document).
+	if got := len(ChildElems(l, root, "book")); got != 2 {
+		t.Fatalf("layered base children changed: %d", got)
+	}
+	// But navigation into the overlay fragment works.
+	if got := StringValue(l, k); got != "Pending" {
+		t.Fatalf("overlay navigation: %q", got)
+	}
+	if got := len(ChildElems(l, k, "title")); got != 1 {
+		t.Fatalf("overlay child elems: %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a><b></a>", "<a/><b/>", "text only"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	s, root := loadBib(t)
+	books := ChildElems(s, root, "book")
+	// book(1) + @year(1) + title(1)+text(1) + author(1)+last(1)+text(1)+first(1)+text(1) = 9
+	if got := SubtreeSize(s, books[0]); got != 9 {
+		t.Fatalf("SubtreeSize = %d", got)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	s := NewStore()
+	root, err := s.Load("d", `<a note="5 &lt; 6">x &amp; y</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Serialize(s, root)
+	f, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse escaped output %q: %v", out, err)
+	}
+	if f.Children[0].Value != "x & y" {
+		t.Fatalf("text round trip: %q", f.Children[0].Value)
+	}
+	if f.Attrs[0].Value != "5 < 6" {
+		t.Fatalf("attr round trip: %q", f.Attrs[0].Value)
+	}
+}
+
+func TestStringIndent(t *testing.T) {
+	f, err := Parse(`<a x="1"><b>text</b><c><d/></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.StringIndent("  ")
+	want := "<a x=\"1\">\n  <b>text</b>\n  <c>\n    <d/>\n  </c>\n</a>\n"
+	if got != want {
+		t.Fatalf("indented:\n%q\nwant:\n%q", got, want)
+	}
+	// Indented output re-parses to the same compact form.
+	f2, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.String() != f.String() {
+		t.Fatalf("round trip: %s vs %s", f2.String(), f.String())
+	}
+}

@@ -1,0 +1,186 @@
+package xpath
+
+import (
+	"testing"
+
+	"xqview/internal/xmldoc"
+)
+
+const doc = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <price>65.95</price>
+    <author><last>Stevens</last></author>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <price>39.95</price>
+    <author><last>Abiteboul</last></author>
+  </book>
+  <journal>
+    <title>TODS</title>
+  </journal>
+</bib>`
+
+func setup(t *testing.T) (*xmldoc.Store, *Path) {
+	t.Helper()
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	return s, nil
+}
+
+func evalStr(t *testing.T, s *xmldoc.Store, expr string) []string {
+	t.Helper()
+	root, _ := s.RootElem("bib.xml")
+	p, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	ks := Eval(s, root, p)
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = xmldoc.StringValue(s, k)
+	}
+	return out
+}
+
+func TestChildAxis(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "book/title")
+	want := []string{"TCP/IP Illustrated", "Data on the Web"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "//title")
+	if len(got) != 3 {
+		t.Fatalf("//title found %d: %v", len(got), got)
+	}
+	got = evalStr(t, s, "//last")
+	if len(got) != 2 || got[0] != "Stevens" {
+		t.Fatalf("//last = %v", got)
+	}
+}
+
+func TestAttrStep(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "book/@year")
+	if len(got) != 2 || got[0] != "1994" || got[1] != "2000" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTextStep(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "book/title/text()")
+	if len(got) != 2 || got[0] != "TCP/IP Illustrated" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositionalPredicate(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "book[2]/title")
+	if len(got) != 1 || got[0] != "Data on the Web" {
+		t.Fatalf("got %v", got)
+	}
+	if got := evalStr(t, s, "book[5]"); len(got) != 0 {
+		t.Fatalf("out-of-range positional matched %v", got)
+	}
+}
+
+func TestValuePredicate(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, `book[title = "Data on the Web"]/@year`)
+	if len(got) != 1 || got[0] != "2000" {
+		t.Fatalf("got %v", got)
+	}
+	got = evalStr(t, s, `book[price < "50"]/title`)
+	if len(got) != 1 || got[0] != "Data on the Web" {
+		t.Fatalf("numeric pred: %v", got)
+	}
+	got = evalStr(t, s, `book[@year = "1994"]/title`)
+	if len(got) != 1 || got[0] != "TCP/IP Illustrated" {
+		t.Fatalf("attr pred: %v", got)
+	}
+}
+
+func TestExistencePredicate(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "book[author]/title")
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	got = evalStr(t, s, "journal[author]/title")
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	s, _ := setup(t)
+	got := evalStr(t, s, "*/title")
+	if len(got) != 3 {
+		t.Fatalf("wildcard got %v", got)
+	}
+}
+
+func TestLeadingSlash(t *testing.T) {
+	s, _ := setup(t)
+	root, _ := s.RootElem("bib.xml")
+	// Leading slash accepted; "bib" matches nothing from inside root, so
+	// evaluate from a synthetic vantage: evaluate "book" (relative) instead.
+	p := MustParse("/book/title")
+	if got := Eval(s, root, p); len(got) != 2 {
+		t.Fatalf("leading slash: %d", len(got))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "book[", "book[title =", "book[title = 'x' extra ]junk", "book/[2]"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"book/title", "//last", "book[2]/title", "book/@year", "book/title/text()",
+	} {
+		p := MustParse(src)
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", src, p.String(), err)
+		}
+		if p2.String() != p.String() {
+			t.Fatalf("round trip: %q vs %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, op, b string
+		want     bool
+	}{
+		{"5", "<", "10", true}, // numeric, not string compare
+		{"5", ">", "10", false},
+		{"abc", "<", "abd", true}, // string fallback
+		{"1994", "=", "1994", true},
+		{"39.95", "<=", "39.95", true},
+		{"-2", "<", "1", true},
+		{"", "=", "", true},
+	}
+	for _, c := range cases {
+		if got := CompareValues(c.a, c.op, c.b); got != c.want {
+			t.Fatalf("CompareValues(%q %s %q) = %v", c.a, c.op, c.b, got)
+		}
+	}
+}

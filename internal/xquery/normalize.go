@@ -1,0 +1,240 @@
+package xquery
+
+import (
+	"fmt"
+
+	"xqview/internal/xpath"
+)
+
+// Normalize applies the source-level normalization of Sec 2.3.1:
+//
+// Rule 1: let-variables are eliminated by substituting their binding
+// expression for every occurrence.
+//
+// Rule 2: multi-variable for clauses are already represented as a list of
+// single-variable bindings by the parser.
+//
+// Rule 3 (predicates referring to outer variables become where clauses) is
+// enforced syntactically: the path grammar only allows predicates over
+// literals, so nothing needs rewriting.
+func Normalize(e Expr) (Expr, error) {
+	return normalize(e)
+}
+
+func normalize(e Expr) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *PathExpr, *Literal:
+		return e, nil
+	case *Seq:
+		out := &Seq{}
+		for _, it := range x.Items {
+			n, err := normalize(it)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, n)
+		}
+		return out, nil
+	case *FuncCall:
+		out := &FuncCall{Name: x.Name}
+		for _, a := range x.Args {
+			n, err := normalize(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, n)
+		}
+		return out, nil
+	case *ElemCons:
+		out := &ElemCons{Name: x.Name}
+		for _, a := range x.Attrs {
+			na := AttrCons{Name: a.Name}
+			for _, p := range a.Parts {
+				n, err := normalize(p)
+				if err != nil {
+					return nil, err
+				}
+				na.Parts = append(na.Parts, n)
+			}
+			out.Attrs = append(out.Attrs, na)
+		}
+		for _, c := range x.Content {
+			n, err := normalize(c)
+			if err != nil {
+				return nil, err
+			}
+			out.Content = append(out.Content, n)
+		}
+		return out, nil
+	case *FLWOR:
+		out := &FLWOR{Where: x.Where.Clone(), OrderBy: append([]OrderSpec(nil), x.OrderBy...), Return: x.Return}
+		out.Bindings = append(out.Bindings, x.Bindings...)
+		// Inline let bindings left to right.
+		for i := 0; i < len(out.Bindings); {
+			b := out.Bindings[i]
+			if b.Kind != LetBind {
+				i++
+				continue
+			}
+			src, err := normalize(b.Src)
+			if err != nil {
+				return nil, err
+			}
+			out.Bindings = append(out.Bindings[:i:i], out.Bindings[i+1:]...)
+			if err := substFLWOR(out, i, b.Var, src); err != nil {
+				return nil, err
+			}
+		}
+		for i, b := range out.Bindings {
+			n, err := normalize(b.Src)
+			if err != nil {
+				return nil, err
+			}
+			out.Bindings[i].Src = n
+		}
+		n, err := normalize(out.Return)
+		if err != nil {
+			return nil, err
+		}
+		out.Return = n
+		// A FLWOR whose bindings were all lets collapses to its return.
+		if len(out.Bindings) == 0 && out.Where == nil && len(out.OrderBy) == 0 {
+			return out.Return, nil
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("xquery: cannot normalize %T", e)
+}
+
+// substFLWOR substitutes variable v by expression src in all parts of f that
+// lexically follow binding index from.
+func substFLWOR(f *FLWOR, from int, v string, src Expr) error {
+	for i := from; i < len(f.Bindings); i++ {
+		if f.Bindings[i].Var == v {
+			return nil // shadowed
+		}
+		n, err := subst(f.Bindings[i].Src, v, src)
+		if err != nil {
+			return err
+		}
+		f.Bindings[i].Src = n
+	}
+	if f.Where != nil {
+		for _, cmp := range f.Where.Leaves(nil) {
+			l, err := subst(cmp.L, v, src)
+			if err != nil {
+				return err
+			}
+			r, err := subst(cmp.R, v, src)
+			if err != nil {
+				return err
+			}
+			cmp.L, cmp.R = l, r
+		}
+	}
+	for i := range f.OrderBy {
+		n, err := subst(f.OrderBy[i].Expr, v, src)
+		if err != nil {
+			return err
+		}
+		f.OrderBy[i].Expr = n
+	}
+	n, err := subst(f.Return, v, src)
+	if err != nil {
+		return err
+	}
+	f.Return = n
+	return nil
+}
+
+func subst(e Expr, v string, src Expr) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Literal:
+		return x, nil
+	case *PathExpr:
+		if x.Var != v {
+			return x, nil
+		}
+		if x.Path == nil || len(x.Path.Steps) == 0 {
+			return src, nil
+		}
+		base, ok := src.(*PathExpr)
+		if !ok {
+			return nil, fmt.Errorf("xquery: let-variable $%s used with a path but bound to %T", v, src)
+		}
+		joined := &xpath.Path{}
+		if base.Path != nil {
+			joined.Steps = append(joined.Steps, base.Path.Steps...)
+		}
+		joined.Steps = append(joined.Steps, x.Path.Steps...)
+		return &PathExpr{Doc: base.Doc, Var: base.Var, Path: joined}, nil
+	case *Seq:
+		out := &Seq{}
+		for _, it := range x.Items {
+			n, err := subst(it, v, src)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, n)
+		}
+		return out, nil
+	case *FuncCall:
+		out := &FuncCall{Name: x.Name}
+		for _, a := range x.Args {
+			n, err := subst(a, v, src)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, n)
+		}
+		return out, nil
+	case *ElemCons:
+		out := &ElemCons{Name: x.Name}
+		for _, a := range x.Attrs {
+			na := AttrCons{Name: a.Name}
+			for _, p := range a.Parts {
+				n, err := subst(p, v, src)
+				if err != nil {
+					return nil, err
+				}
+				na.Parts = append(na.Parts, n)
+			}
+			out.Attrs = append(out.Attrs, na)
+		}
+		for _, c := range x.Content {
+			n, err := subst(c, v, src)
+			if err != nil {
+				return nil, err
+			}
+			out.Content = append(out.Content, n)
+		}
+		return out, nil
+	case *FLWOR:
+		out := &FLWOR{Where: x.Where.Clone(), OrderBy: append([]OrderSpec(nil), x.OrderBy...), Return: x.Return}
+		out.Bindings = append(out.Bindings, x.Bindings...)
+		shadowedAt := -1
+		for i := range out.Bindings {
+			n, err := subst(out.Bindings[i].Src, v, src)
+			if err != nil {
+				return nil, err
+			}
+			out.Bindings[i].Src = n
+			if out.Bindings[i].Var == v {
+				shadowedAt = i
+				break
+			}
+		}
+		if shadowedAt >= 0 {
+			return out, nil
+		}
+		if err := substFLWOR(out, len(out.Bindings), v, src); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("xquery: cannot substitute in %T", e)
+}

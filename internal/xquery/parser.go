@@ -1,0 +1,619 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xqview/internal/xpath"
+)
+
+// Parse parses an XQuery expression in the supported subset. Keywords are
+// matched case-insensitively (the dissertation writes FOR/RETURN in upper
+// case), and — matching the dissertation's presentation style — a bare FLWOR
+// or $variable expression may appear directly inside element content without
+// enclosing braces.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1
+	for i := 0; i < p.pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+		}
+	}
+	return fmt.Errorf("xquery: line %d (offset %d): %s", line, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+// keyword matches a case-insensitive keyword at the cursor, requiring a
+// non-name boundary after it, and consumes it on success.
+func (p *parser) keyword(kw string) bool {
+	r := p.rest()
+	if len(r) < len(kw) || !strings.EqualFold(r[:len(kw)], kw) {
+		return false
+	}
+	if len(r) > len(kw) && isNameByte(r[len(kw)]) {
+		return false
+	}
+	p.pos += len(kw)
+	return true
+}
+
+// peekKeyword reports whether kw is at the cursor without consuming it.
+func (p *parser) peekKeyword(kw string) bool {
+	save := p.pos
+	ok := p.keyword(kw)
+	p.pos = save
+	return ok
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseExprSingle() (Expr, error) {
+	p.skipWS()
+	switch {
+	case p.peekKeyword("for") || p.peekKeyword("let"):
+		return p.parseFLWOR()
+	case p.peek() == '<':
+		return p.parseConstructor()
+	case p.peek() == '$':
+		return p.parseVarPath()
+	case p.peek() == '"' || p.peek() == '\'':
+		v, err := p.parseStringLit()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Val: v}, nil
+	case p.peek() == '(':
+		return p.parseParenSeq()
+	case p.peek() >= '0' && p.peek() <= '9' || p.peek() == '-':
+		return p.parseNumLit()
+	default:
+		return p.parseCallOrDoc()
+	}
+}
+
+func (p *parser) parseStringLit() (string, error) {
+	q := p.peek()
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated string literal")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *parser) parseNumLit() (Expr, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected number")
+	}
+	return &Literal{Val: p.src[start:p.pos]}, nil
+}
+
+func (p *parser) parseParenSeq() (Expr, error) {
+	p.pos++ // (
+	var items []Expr
+	for {
+		p.skipWS()
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+		p.skipWS()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		return nil, p.errf("expected , or ) in sequence")
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &Seq{Items: items}, nil
+}
+
+// parseVarPath parses $var followed by an optional relative path.
+func (p *parser) parseVarPath() (Expr, error) {
+	p.pos++ // $
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	pe := &PathExpr{Var: name}
+	if p.peek() == '/' {
+		path, n, err := xpath.ParsePrefix(p.rest())
+		if err != nil {
+			return nil, p.errf("path after $%s: %v", name, err)
+		}
+		p.pos += n
+		pe.Path = path
+	}
+	return pe, nil
+}
+
+// parseCallOrDoc parses doc("x")/path, document("x")/path, or a supported
+// function call.
+func (p *parser) parseCallOrDoc() (Expr, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.peek() != '(' {
+		return nil, p.errf("unexpected identifier %q", name)
+	}
+	lname := strings.ToLower(name)
+	if lname == "doc" || lname == "document" {
+		p.pos++
+		p.skipWS()
+		docName, err := p.parseStringLit()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ) after doc name")
+		}
+		p.pos++
+		pe := &PathExpr{Doc: docName}
+		if p.peek() == '/' {
+			path, n, err := xpath.ParsePrefix(p.rest())
+			if err != nil {
+				return nil, p.errf("path after doc(%q): %v", docName, err)
+			}
+			p.pos += n
+			pe.Path = path
+		}
+		return pe, nil
+	}
+	if lname != "distinct-values" && lname != "unordered" && !AggregateFuncs[lname] {
+		return nil, p.errf("unsupported function %q", name)
+	}
+	p.pos++
+	var args []Expr
+	for {
+		p.skipWS()
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		a, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		p.skipWS()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		return nil, p.errf("expected , or ) in %s()", name)
+	}
+	if len(args) != 1 {
+		return nil, p.errf("%s expects exactly one argument", name)
+	}
+	return &FuncCall{Name: lname, Args: args}, nil
+}
+
+func (p *parser) parseFLWOR() (Expr, error) {
+	f := &FLWOR{}
+	for {
+		p.skipWS()
+		var kind BindKind
+		switch {
+		case p.keyword("for"):
+			kind = ForBind
+		case p.keyword("let"):
+			kind = LetBind
+		default:
+			goto clausesDone
+		}
+		for {
+			p.skipWS()
+			if p.peek() != '$' {
+				return nil, p.errf("expected $variable in %v clause", kind)
+			}
+			p.pos++
+			v, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			p.skipWS()
+			if kind == ForBind {
+				if !p.keyword("in") {
+					return nil, p.errf("expected 'in' after $%s", v)
+				}
+			} else {
+				if !strings.HasPrefix(p.rest(), ":=") {
+					return nil, p.errf("expected ':=' after $%s", v)
+				}
+				p.pos += 2
+			}
+			src, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			f.Bindings = append(f.Bindings, Binding{Kind: kind, Var: v, Src: src})
+			p.skipWS()
+			if p.peek() == ',' {
+				save := p.pos
+				p.pos++
+				p.skipWS()
+				if p.peek() == '$' {
+					continue // same clause, next variable
+				}
+				p.pos = save
+			}
+			break
+		}
+	}
+clausesDone:
+	if len(f.Bindings) == 0 {
+		return nil, p.errf("FLWOR without bindings")
+	}
+	p.skipWS()
+	if p.keyword("where") {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = c
+	}
+	p.skipWS()
+	if p.peekKeyword("order") {
+		p.keyword("order")
+		p.skipWS()
+		if !p.keyword("by") {
+			return nil, p.errf("expected 'by' after 'order'")
+		}
+		for {
+			e, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			spec := OrderSpec{Expr: e}
+			p.skipWS()
+			if p.keyword("descending") {
+				spec.Desc = true
+			} else {
+				p.keyword("ascending")
+			}
+			f.OrderBy = append(f.OrderBy, spec)
+			p.skipWS()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	p.skipWS()
+	if !p.keyword("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	ret, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	return f, nil
+}
+
+func (p *parser) parseCond() (*Cond, error) {
+	l, err := p.parseCondAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if !p.keyword("or") {
+			return l, nil
+		}
+		r, err := p.parseCondAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Cond{Op: "or", L: l, R: r}
+	}
+}
+
+func (p *parser) parseCondAnd() (*Cond, error) {
+	l, err := p.parseCondLeaf()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if !p.keyword("and") {
+			return l, nil
+		}
+		r, err := p.parseCondLeaf()
+		if err != nil {
+			return nil, err
+		}
+		l = &Cond{Op: "and", L: l, R: r}
+	}
+}
+
+func (p *parser) parseCondLeaf() (*Cond, error) {
+	p.skipWS()
+	if p.peek() == '(' {
+		p.pos++
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ) in condition")
+		}
+		p.pos++
+		return c, nil
+	}
+	l, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	var op string
+	for _, o := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.rest(), o) {
+			op = o
+			p.pos += len(o)
+			break
+		}
+	}
+	if op == "" {
+		return nil, p.errf("expected comparison operator")
+	}
+	r, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Cmp: &Comparison{L: l, Op: op, R: r}}, nil
+}
+
+// parseConstructor parses a direct element constructor.
+func (p *parser) parseConstructor() (Expr, error) {
+	p.pos++ // <
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	e := &ElemCons{Name: name}
+	for {
+		p.skipWS()
+		if strings.HasPrefix(p.rest(), "/>") {
+			p.pos += 2
+			return e, nil
+		}
+		if p.peek() == '>' {
+			p.pos++
+			break
+		}
+		a, err := p.parseAttrCons()
+		if err != nil {
+			return nil, err
+		}
+		e.Attrs = append(e.Attrs, a)
+	}
+	// Element content.
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated element <%s>", name)
+		}
+		if strings.HasPrefix(p.rest(), "</") {
+			p.pos += 2
+			end, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			if end != name {
+				return nil, p.errf("mismatched end tag </%s> for <%s>", end, name)
+			}
+			p.skipWS()
+			if p.peek() != '>' {
+				return nil, p.errf("expected > after </%s", end)
+			}
+			p.pos++
+			return e, nil
+		}
+		switch {
+		case p.peek() == '{':
+			p.pos++
+			for {
+				item, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				e.Content = append(e.Content, item)
+				p.skipWS()
+				if p.peek() == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if p.peek() != '}' {
+				return nil, p.errf("expected } in element content")
+			}
+			p.pos++
+		case p.peek() == '<':
+			sub, err := p.parseConstructor()
+			if err != nil {
+				return nil, err
+			}
+			e.Content = append(e.Content, sub)
+		default:
+			// Literal text — but the dissertation embeds bare FLWORs and
+			// bare $paths directly in content, so recognize those first.
+			save := p.pos
+			p.skipWS()
+			if p.peekKeyword("for") || p.peekKeyword("let") {
+				sub, err := p.parseFLWOR()
+				if err != nil {
+					return nil, err
+				}
+				e.Content = append(e.Content, sub)
+				continue
+			}
+			if p.peek() == '$' {
+				sub, err := p.parseVarPath()
+				if err != nil {
+					return nil, err
+				}
+				e.Content = append(e.Content, sub)
+				continue
+			}
+			p.pos = save
+			start := p.pos
+			for p.pos < len(p.src) {
+				c := p.src[p.pos]
+				if c == '<' || c == '{' || c == '$' {
+					break
+				}
+				p.pos++
+			}
+			text := p.src[start:p.pos]
+			if strings.TrimSpace(text) != "" {
+				e.Content = append(e.Content, &Literal{Val: strings.TrimSpace(text)})
+			}
+		}
+	}
+}
+
+func (p *parser) parseAttrCons() (AttrCons, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return AttrCons{}, err
+	}
+	p.skipWS()
+	if p.peek() != '=' {
+		return AttrCons{}, p.errf("expected = after attribute %s", name)
+	}
+	p.pos++
+	p.skipWS()
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return AttrCons{}, p.errf("expected quoted attribute value for %s", name)
+	}
+	p.pos++
+	a := AttrCons{Name: name}
+	start := p.pos
+	flushLit := func(end int) {
+		if end > start {
+			a.Parts = append(a.Parts, &Literal{Val: p.src[start:end]})
+		}
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return AttrCons{}, p.errf("unterminated attribute value for %s", name)
+		}
+		c := p.src[p.pos]
+		if c == q {
+			flushLit(p.pos)
+			p.pos++
+			return a, nil
+		}
+		if c == '{' {
+			flushLit(p.pos)
+			p.pos++
+			sub, err := p.parseExprSingle()
+			if err != nil {
+				return AttrCons{}, err
+			}
+			p.skipWS()
+			if p.peek() != '}' {
+				return AttrCons{}, p.errf("expected } in attribute value")
+			}
+			p.pos++
+			a.Parts = append(a.Parts, sub)
+			start = p.pos
+			continue
+		}
+		p.pos++
+	}
+}

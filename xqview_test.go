@@ -1,0 +1,230 @@
+package xqview
+
+import (
+	"strings"
+	"testing"
+)
+
+const bibXML = `
+<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title></book>
+  <book year="2000"><title>Data on the Web</title></book>
+</bib>`
+
+func TestQuickstartFlow(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.CreateView(`<result>{ for $b in doc("bib.xml")/bib/book return $b/title }</result>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<result><title>TCP/IP Illustrated</title><title>Data on the Web</title></result>`
+	if got := v.XML(); got != want {
+		t.Fatalf("initial: %s", got)
+	}
+	rep, err := v.ApplyUpdates(`
+for $b in document("bib.xml")/bib/book
+where $b/title = "Data on the Web"
+update $b
+delete $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `<result><title>TCP/IP Illustrated</title></result>`
+	if got := v.XML(); got != want {
+		t.Fatalf("after delete: %s", got)
+	}
+	if rep.UpdatesTotal != 1 || rep.FragmentsRemoved == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "updates=1") {
+		t.Fatalf("report string: %s", rep)
+	}
+	// Source refreshed too.
+	doc, err := db.DocumentXML("bib.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(doc, "Data on the Web") {
+		t.Fatalf("source not refreshed: %s", doc)
+	}
+}
+
+func TestOneShotQuery(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(`<years>{ for $y in distinct-values(doc("bib.xml")/bib/book/@year) order by $y return <y v="{$y}"/> }</years>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<years><y v="1994"/><y v="2000"/></years>` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestDocumentsAndErrors(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("a.xml", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDocument("a.xml", "<a/>"); err == nil {
+		t.Fatal("double load should fail")
+	}
+	if _, err := db.DocumentXML("missing"); err == nil {
+		t.Fatal("missing doc should fail")
+	}
+	if got := db.Documents(); len(got) != 1 || got[0] != "a.xml" {
+		t.Fatalf("documents: %v", got)
+	}
+	if _, err := db.CreateView("not a query"); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	if _, err := db.Query(`<r>{ for $x in doc("missing")/a return $x }</r>`); err == nil {
+		t.Fatal("query over missing doc should fail")
+	}
+}
+
+func TestViewIntrospection(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.CreateView(`<r>{ for $b in doc("bib.xml")/bib/book where $b/@year = "1994" return $b/title }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.PlanString(), "Select") {
+		t.Fatalf("plan: %s", v.PlanString())
+	}
+	if !strings.Contains(v.SAPTString(), "@year") {
+		t.Fatalf("sapt: %s", v.SAPTString())
+	}
+	if v.Query() == "" {
+		t.Fatal("query lost")
+	}
+	if err := v.Recompute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfMaintainableAPI(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	simple, err := db.CreateView(`<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simple.SelfMaintainable() {
+		t.Fatal("path view should be self-maintainable")
+	}
+	if err := db.LoadDocument("prices.xml", `<prices><entry><b-title>TCP/IP Illustrated</b-title></entry></prices>`); err != nil {
+		t.Fatal(err)
+	}
+	join, err := db.CreateView(`<r>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <p>{$b/title}</p> }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.SelfMaintainable() {
+		t.Fatal("join view should not be self-maintainable")
+	}
+}
+
+func TestDatabaseMaintainsAllViews(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := db.CreateView(`<titles>{ for $b in doc("bib.xml")/bib/book return $b/title }</titles>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := db.CreateView(`<years>{ for $y in distinct-values(doc("bib.xml")/bib/book/@year) order by $y return <y v="{$y}"/> }</years>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := db.ApplyUpdates(`
+for $b in document("bib.xml")/bib
+update $b
+insert <book year="2010"><title>New Book</title></book> into $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports: %d", len(reports))
+	}
+	if got := v1.XML(); !strings.Contains(got, "New Book") {
+		t.Fatalf("v1 stale: %s", got)
+	}
+	if got := v2.XML(); !strings.Contains(got, `v="2010"`) {
+		t.Fatalf("v2 stale: %s", got)
+	}
+}
+
+func TestXMLIndent(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.CreateView(`<r>{ for $b in doc("bib.xml")/bib/book return <i>{$b/title}</i> }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.XMLIndent()
+	if !strings.Contains(got, "\n  <i>\n") {
+		t.Fatalf("not indented:\n%s", got)
+	}
+	// Indented form must re-parse to the same content.
+	flat, err := db.Query(v.Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(strings.Fields(strings.ReplaceAll(got, ">", "> ")), "") !=
+		strings.Join(strings.Fields(strings.ReplaceAll(flat, ">", "> ")), "") {
+		t.Fatalf("indent changed content:\n%s\nvs\n%s", got, flat)
+	}
+}
+
+func TestConcurrentReadsDuringUpdates(t *testing.T) {
+	db := NewDatabase()
+	if err := db.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.CreateView(`<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			script := `for $b in document("bib.xml")/bib
+update $b
+insert <book year="2020"><title>C` + string(rune('a'+i%26)) + `</title></book> into $b`
+			if _, err := db.ApplyUpdates(script); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if got := v.XML(); !strings.Contains(got, "<title>") {
+				t.Fatalf("final view: %s", got)
+			}
+			return
+		default:
+			_ = v.XML()
+			_, _ = db.DocumentXML("bib.xml")
+		}
+	}
+}
