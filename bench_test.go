@@ -124,6 +124,52 @@ func benchMaintain(b *testing.B, mk func(*xmldoc.Store, int) []*update.Primitive
 	}
 }
 
+// BenchmarkMaintainMultiView is the PR 1 scaling benchmark: one validated
+// batch propagated through N views, sequentially (par=1) and over the
+// bounded worker pool (par=max, i.e. GOMAXPROCS). Views alternate between
+// the cheap flat Q1 and the join+grouping Q2 so the pool schedules
+// heterogeneous work. scripts/bench_pr1.sh captures this into
+// BENCH_PR1.json.
+func BenchmarkMaintainMultiView(b *testing.B) {
+	arms := []struct {
+		name string
+		par  int
+	}{
+		{"par=1", 1},
+		{"par=max", 0},
+	}
+	for _, nv := range []int{1, 4, 16} {
+		for _, arm := range arms {
+			b.Run(fmt.Sprintf("views=%d/%s", nv, arm.name), func(b *testing.B) {
+				s := benchBibStore(b, 200)
+				views := make([]*core.View, nv)
+				for i := range views {
+					q := bench.BibQ2
+					if i%2 == 1 {
+						q = bench.BibQ1
+					}
+					v, err := core.NewView(s, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					views[i] = v
+				}
+				bib, _ := s.RootElem("bib.xml")
+				opts := core.Options{Parallelism: arm.par}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+						Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1992"),
+							xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("mv-%d", i))))}}
+					if _, err := core.MaintainAll(s, views, prims, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkRecomputeBaseline(b *testing.B) {
 	s := benchBibStore(b, 500)
 	bib, _ := s.RootElem("bib.xml")

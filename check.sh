@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the one-command repo gate: vet + tier-1 tests + race detector.
+# The race pass matters here: view maintenance fans Propagate+Apply out over
+# a worker pool by default, and the Store/UpdatedReader read-only contracts
+# it relies on are only enforced by these tests.
+#
+# Usage: ./check.sh [extra go test args, e.g. -short]
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..." >&2
+go vet ./...
+
+echo "== go test ./... (tier-1)" >&2
+go test "$@" ./...
+
+echo "== go test -race ./..." >&2
+go test -race "$@" ./...
+
+echo "check.sh: all green" >&2

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	xqview -doc name=file.xml [-doc name2=file2.xml ...] -query query.xq \
-//	       [-updates updates.xqu] [-plan] [-sapt] [-report] [-pretty]
+//	       [-updates updates.xqu] [-plan] [-sapt] [-report] [-pretty] \
+//	       [-parallel N]
 //
 // The view is materialized and printed. With -updates, the update script is
 // applied through the VPA pipeline and the refreshed view is printed; with
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	showSAPT := fs.Bool("sapt", false, "print the source access pattern tree to stderr")
 	report := fs.Bool("report", false, "print the maintenance report to stderr")
 	pretty := fs.Bool("pretty", false, "indent the printed view")
+	parallel := fs.Int("parallel", 0, "max views maintained concurrently per batch (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("need at least one -doc and a -query")
 	}
 	db := xqview.NewDatabase()
+	db.SetParallelism(*parallel)
 	for _, d := range docs {
 		name, file, _ := strings.Cut(d, "=")
 		data, err := os.ReadFile(file)

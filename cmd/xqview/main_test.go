@@ -57,6 +57,35 @@ delete $b`)
 	}
 }
 
+func TestRunParallelFlag(t *testing.T) {
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", `<bib><book year="1994"><title>A</title></book><book year="2000"><title>B</title></book></bib>`)
+	query := write(t, dir, "q.xq", `<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`)
+	upd := write(t, dir, "u.xqu", `
+for $b in document("bib.xml")/bib/book
+where $b/title = "B"
+update $b
+delete $b`)
+	// The flag must only change scheduling, never output: both pool sizes
+	// produce the identical refreshed view.
+	var outs [2]string
+	for i, p := range []string{"1", "4"} {
+		var out, errw strings.Builder
+		err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+			"-updates", upd, "-parallel", p}, &out, &errw)
+		if err != nil {
+			t.Fatalf("run -parallel %s: %v\n%s", p, err, errw.String())
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("-parallel changed output:\np=1: %s\np=4: %s", outs[0], outs[1])
+	}
+	if strings.Contains(outs[0], "B") {
+		t.Fatalf("deleted title still present:\n%s", outs[0])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errw strings.Builder
 	if err := run(nil, &out, &errw); err == nil {

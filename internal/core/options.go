@@ -1,0 +1,91 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a maintenance or recomputation run.
+type Options struct {
+	// Parallelism bounds the number of views maintained concurrently during
+	// the Propagate+Apply phases (and the number of concurrent clones during
+	// full recomputation). Zero or negative means runtime.GOMAXPROCS(0).
+	// The Validate phase and the final source refresh are always
+	// single-threaded: they are the only phases that mutate shared state.
+	Parallelism int
+}
+
+// getOpts resolves the variadic options accepted by the maintenance entry
+// points (so pre-existing call sites need no changes).
+func getOpts(opts []Options) Options {
+	if len(opts) == 0 {
+		return Options{}
+	}
+	return opts[0]
+}
+
+// workers resolves the effective pool size for n work items.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// forEachIndex runs fn(0..n-1) over a bounded worker pool. Output slots are
+// index-addressed by the callers, so completion order never affects result
+// order. The first error cancels the pool: items not yet started are skipped,
+// items in flight run to completion, and that first error is returned.
+// With one worker it degenerates to a plain sequential loop.
+func forEachIndex(n int, opt Options, fn func(i int) error) error {
+	p := opt.workers(n)
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		once  sync.Once
+		first error
+	)
+	stop := make(chan struct{})
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() {
+						first = err
+						close(stop)
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

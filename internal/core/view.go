@@ -87,12 +87,12 @@ func (v *View) XML() string {
 
 // ApplyScript parses XQuery update statements, evaluates them against the
 // store and maintains the view incrementally.
-func (v *View) ApplyScript(src string) (*MaintStats, error) {
+func (v *View) ApplyScript(src string, opts ...Options) (*MaintStats, error) {
 	prims, err := update.ParseAndEvaluate(v.Store, src)
 	if err != nil {
 		return nil, err
 	}
-	return v.ApplyUpdates(prims)
+	return v.ApplyUpdates(prims, opts...)
 }
 
 // ApplyUpdates runs the full VPA pipeline for a batch of primitives:
@@ -100,8 +100,8 @@ func (v *View) ApplyScript(src string) (*MaintStats, error) {
 // (incremental maintenance plan execution producing delta update trees),
 // apply (deep union into the extent), and finally refreshing the source
 // documents themselves.
-func (v *View) ApplyUpdates(prims []*update.Primitive) (*MaintStats, error) {
-	all, err := MaintainAll(v.Store, []*View{v}, prims)
+func (v *View) ApplyUpdates(prims []*update.Primitive, opts ...Options) (*MaintStats, error) {
+	all, err := MaintainAll(v.Store, []*View{v}, prims, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,17 @@ func (v *View) ApplyUpdates(prims []*update.Primitive) (*MaintStats, error) {
 // rewrite decisions are consistent for everyone), each view's incremental
 // maintenance plan propagates it and refreshes its extent, and the source
 // documents are updated once at the end.
-func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive) ([]*MaintStats, error) {
+//
+// The per-view Propagate+Apply loop fans out over a bounded worker pool
+// (Options.Parallelism, default GOMAXPROCS): every view reads the same
+// immutable pre-update state — the store is read-only for the whole phase
+// and the delta input is frozen after validation — while each worker writes
+// only its own view's extent and stats slot, so result ordering and content
+// are independent of the pool size. The first propagation or apply error
+// cancels the pool and is returned; the store has not been mutated at that
+// point. Source documents are refreshed single-threaded afterwards.
+func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opts ...Options) ([]*MaintStats, error) {
+	opt := getOpts(opts)
 	start := time.Now()
 	trees := make([]*sapt.Tree, len(views))
 	for i, v := range views {
@@ -124,7 +134,7 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive) 
 	}
 	merged := sapt.Merge(trees...)
 
-	// --- Validate phase (shared) ---
+	// --- Validate phase (shared, single-threaded) ---
 	t0 := time.Now()
 	batch, err := validate.Validate(store, merged, prims)
 	if err != nil {
@@ -135,27 +145,39 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive) 
 	// --- Propagate + Apply per view, all against the pre-update store ---
 	din := deltaInput(store, batch)
 	out := make([]*MaintStats, len(views))
-	for i, v := range views {
+	// Engine stats are staged per view and folded into View.ExecStats only
+	// after the pool joins, keeping all cross-view writes out of the
+	// concurrent section.
+	propStats := make([]xat.Stats, len(views))
+	err = forEachIndex(len(views), opt, func(i int) error {
+		v := views[i]
 		ms := &MaintStats{Validate: validateTime, Validation: batch.Stats}
-		t0 = time.Now()
+		t0 := time.Now()
 		res, err := xat.PropagateDelta(v.Plan, din)
 		if err != nil {
-			return nil, fmt.Errorf("propagate (view %d): %w", i, err)
+			return fmt.Errorf("propagate (view %d): %w", i, err)
 		}
 		ms.Propagate = time.Since(t0)
 		ms.DeltaRoots = len(res.Roots)
-		v.ExecStats.Add(*res.Stats)
+		propStats[i] = *res.Stats
 
 		t0 = time.Now()
 		v.Extent, err = deepunion.Apply(v.Extent, res.Roots, &ms.Union)
 		if err != nil {
-			return nil, fmt.Errorf("apply (view %d): %w", i, err)
+			return fmt.Errorf("apply (view %d): %w", i, err)
 		}
 		ms.Apply = time.Since(t0)
 		out[i] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range views {
+		v.ExecStats.Add(propStats[i])
 	}
 
-	// --- Refresh the source documents once ---
+	// --- Refresh the source documents once (single-threaded) ---
 	t0 = time.Now()
 	for _, p := range batch.Prims() {
 		if err := update.ApplyToStore(store, p); err != nil {
@@ -172,6 +194,8 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive) 
 }
 
 // deltaInput assembles the propagate-phase input from a validated batch.
+// The returned input is frozen: every view propagating it concurrently sees
+// the same immutable post-update reader.
 func deltaInput(store *xmldoc.Store, batch *validate.Batch) *xat.DeltaInput {
 	ur := xmldoc.NewUpdatedReader(store, batch.Overlay)
 	regions := map[string][]*xat.Region{}
@@ -192,6 +216,7 @@ func deltaInput(store *xmldoc.Store, batch *validate.Batch) *xat.DeltaInput {
 			regions[doc] = append(regions[doc], r)
 		}
 	}
+	ur.Freeze()
 	return &xat.DeltaInput{Base: store, New: ur, Regions: regions}
 }
 
@@ -199,20 +224,46 @@ func deltaInput(store *xmldoc.Store, batch *validate.Batch) *xat.DeltaInput {
 // store, applies the updates, and evaluates the view from scratch,
 // returning the resulting XML.
 func Recompute(store *xmldoc.Store, query string, prims []*update.Primitive) (string, error) {
-	clone := store.Clone()
-	// Primitives reference keys of the original store; keys are shared by
-	// Clone so they resolve identically.
-	for _, p := range prims {
-		cp := *p
-		if err := update.ApplyToStore(clone, &cp); err != nil {
-			return "", err
-		}
-	}
-	v, err := NewView(clone, query)
+	out, err := RecomputeAll(store, []string{query}, prims)
 	if err != nil {
 		return "", err
 	}
-	return v.XML(), nil
+	return out[0], nil
+}
+
+// RecomputeAll recomputes several views from scratch under one batch, the
+// multi-view counterpart of Recompute: each view clones the store, applies
+// the updates to its clone, and evaluates its query over the result. The
+// per-view clone+evaluate work fans out over the same bounded worker pool
+// as MaintainAll, so the Ch 9 incremental-vs-recompute comparisons stay
+// apples-to-apples when both sides run in parallel. The source store is
+// never mutated. Results are returned in query order.
+func RecomputeAll(store *xmldoc.Store, queries []string, prims []*update.Primitive, opts ...Options) ([]string, error) {
+	opt := getOpts(opts)
+	out := make([]string, len(queries))
+	err := forEachIndex(len(queries), opt, func(i int) error {
+		clone := store.Clone()
+		// Primitives reference keys of the original store; keys are shared
+		// by Clone so they resolve identically. Each worker applies its own
+		// shallow copies: ApplyToStore assigns insert keys on the primitive,
+		// and the shared Frag trees are only ever read.
+		for _, p := range prims {
+			cp := *p
+			if err := update.ApplyToStore(clone, &cp); err != nil {
+				return err
+			}
+		}
+		v, err := NewView(clone, queries[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v.XML()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CanonicalXML renders an extent deterministically for comparisons: sibling

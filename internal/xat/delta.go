@@ -12,6 +12,13 @@ import (
 // (Ch 7). Base is the pre-update store; New is the post-update view of it
 // (staged inserts visible, deletions hidden, replaced values applied);
 // Regions lists the update regions per document.
+//
+// Concurrency contract: a DeltaInput is read-only once built — Base must not
+// be mutated while any propagation is in flight, New must be frozen, and the
+// Region values are never written by the engine. Under that contract one
+// DeltaInput may be shared by concurrent PropagateDelta calls (one per
+// view); all per-run mutable state (environments, stats, skeleton
+// registries, base-table memos) lives in the per-call deltaEngine.
 type DeltaInput struct {
 	Base    *xmldoc.Store
 	New     xmldoc.Reader
@@ -30,6 +37,9 @@ type DeltaResult struct {
 // tables, consulting base inputs where the propagation equations require
 // them (e.g. ΔT1 ⋈ T2 ∪ T1' ⋈ ΔT2 for joins). The output delta update
 // trees are merged into the materialized view by the deep union (Ch 8).
+// Concurrent calls over distinct plans may share one DeltaInput (see its
+// concurrency contract); each call builds private environments and returns
+// freshly allocated delta trees and stats.
 func PropagateDelta(p *Plan, in *DeltaInput) (*DeltaResult, error) {
 	e := &deltaEngine{
 		plan:     p,

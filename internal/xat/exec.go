@@ -49,7 +49,10 @@ type Skeleton struct {
 }
 
 // Env is the execution environment: the store to read base data from, the
-// registry of constructed-node skeletons, and the stats sink.
+// registry of constructed-node skeletons, and the stats sink. An Env is
+// mutable per run (skeleton registry, value memo, stats) and must never be
+// shared across concurrently executing plans — each propagating view builds
+// its own environments over the shared read-only stores.
 type Env struct {
 	Store xmldoc.Reader
 	Cons  map[string]*Skeleton

@@ -12,6 +12,11 @@ import (
 // The propagate phase navigates inserted regions and evaluates predicates
 // over new content through this reader while the base store keeps the
 // pre-update state (Ch 7: IMPs reference both old and new source states).
+//
+// A reader is built in two stages: populate the update maps, then Freeze it.
+// A frozen reader is immutable and safe for any number of concurrent
+// readers, which is what lets the maintenance pool propagate one batch
+// through many views at once without cloning the post-update state per view.
 type UpdatedReader struct {
 	Base    *Store
 	Overlay *Store
@@ -22,6 +27,12 @@ type UpdatedReader struct {
 	Deleted map[flexkey.Key]bool
 	// Replaced maps text/attribute node keys to their new values.
 	Replaced map[flexkey.Key]string
+
+	// replacedNodes memoizes the rewritten copies of replaced base nodes,
+	// built once by Freeze so that repeated predicate evaluation over
+	// modified regions stops allocating a fresh Node per read.
+	replacedNodes map[flexkey.Key]*Node
+	frozen        bool
 }
 
 // NewUpdatedReader builds an empty updated view over base and overlay.
@@ -35,10 +46,35 @@ func NewUpdatedReader(base, overlay *Store) *UpdatedReader {
 	}
 }
 
+// Freeze seals the reader after its update maps are populated: it memoizes
+// the replaced-node copies and marks the reader immutable. After Freeze the
+// reader must not be modified — every read path only consults the maps, so
+// a frozen reader is safe for concurrent use by multiple propagating views.
+func (u *UpdatedReader) Freeze() {
+	u.replacedNodes = make(map[flexkey.Key]*Node, len(u.Replaced))
+	for k, v := range u.Replaced {
+		if n, ok := u.Base.Node(k); ok {
+			nn := *n
+			nn.Value = v
+			u.replacedNodes[k] = &nn
+		}
+	}
+	u.frozen = true
+}
+
+// Frozen reports whether Freeze has sealed the reader.
+func (u *UpdatedReader) Frozen() bool { return u.frozen }
+
 // Node implements Reader.
 func (u *UpdatedReader) Node(k flexkey.Key) (*Node, bool) {
 	if n, ok := u.Overlay.Node(k); ok {
 		return n, true
+	}
+	if u.frozen {
+		if n, ok := u.replacedNodes[k]; ok {
+			return n, true
+		}
+		return u.Base.Node(k)
 	}
 	n, ok := u.Base.Node(k)
 	if !ok {

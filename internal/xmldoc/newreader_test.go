@@ -91,6 +91,56 @@ func TestUpdatedReaderCombined(t *testing.T) {
 	}
 }
 
+func TestUpdatedReaderFreezeMemoizesReplacedNodes(t *testing.T) {
+	base, _, ur, root := updatedSetup(t)
+	books := ChildElems(base, root, "book")
+	titles := ChildElems(base, books[0], "title")
+	texts := TextChildren(base, titles[0])
+	ur.Replaced[texts[0]] = "Frozen Title"
+	ur.Freeze()
+	if !ur.Frozen() {
+		t.Fatal("reader not marked frozen")
+	}
+	n1, ok := ur.Node(texts[0])
+	if !ok || n1.Value != "Frozen Title" {
+		t.Fatalf("replaced value after freeze: %+v", n1)
+	}
+	n2, _ := ur.Node(texts[0])
+	// The whole point of the memo: repeated reads of a replaced key return
+	// the same copy instead of allocating a fresh Node each time.
+	if n1 != n2 {
+		t.Fatal("replaced-node copy not memoized: distinct pointers per read")
+	}
+	// Base node untouched and still distinct from the rewritten copy.
+	bn, _ := base.Node(texts[0])
+	if bn == n1 || bn.Value == "Frozen Title" {
+		t.Fatal("freeze leaked the rewrite into the base store")
+	}
+	// Non-replaced keys pass straight through to the base node.
+	on, _ := ur.Node(books[1])
+	obn, _ := base.Node(books[1])
+	if on != obn {
+		t.Fatal("non-replaced key did not pass through to the base node")
+	}
+}
+
+func TestUpdatedReaderFreezeZeroAllocReads(t *testing.T) {
+	base, _, ur, root := updatedSetup(t)
+	books := ChildElems(base, root, "book")
+	titles := ChildElems(base, books[0], "title")
+	texts := TextChildren(base, titles[0])
+	ur.Replaced[texts[0]] = "X"
+	ur.Freeze()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := ur.Node(texts[0]); !ok {
+			t.Fatal("node vanished")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frozen replaced-key read allocates %.1f per op, want 0", allocs)
+	}
+}
+
 func TestUpdatedReaderRoot(t *testing.T) {
 	base, _, ur, _ := updatedSetup(t)
 	bk, ok1 := base.Root("bib.xml")

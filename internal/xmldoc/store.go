@@ -24,6 +24,13 @@ type Reader interface {
 // Store is the in-memory storage manager. It guarantees the MASS contract
 // the algorithms rely on: children/descendant retrieval in document order
 // and FlexKeys that stay stable under updates.
+//
+// Concurrency contract: the Store is not internally synchronized. The
+// maintenance pipeline relies on a phase discipline instead — during the
+// Propagate phase the store is strictly read-only (Reader methods only),
+// which makes it safe to share across concurrently maintained views; all
+// mutation (LoadFragment, InsertFragment*, DeleteSubtree, ReplaceText) is
+// confined to the single-threaded Validate and Apply/source-refresh phases.
 type Store struct {
 	nodes    map[flexkey.Key]*Node
 	children map[flexkey.Key][]flexkey.Key // sorted: lexicographic == doc order

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_pr1.sh — capture the PR 1 multi-view scaling benchmark into
+# BENCH_PR1.json, seeding the repo's perf trajectory. Subsequent PRs append
+# their own BENCH_PRn.json the same way and compare against this baseline.
+#
+# Usage: scripts/bench_pr1.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainMultiView' -benchmem \
+	-benchtime "$benchtime" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 1,\n'
+	printf '  "benchmark": "BenchmarkMaintainMultiView",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		/^BenchmarkMaintainMultiView\// {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7)
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR1.json
+
+echo "wrote BENCH_PR1.json" >&2

@@ -38,11 +38,23 @@ type Database struct {
 	mu    sync.RWMutex
 	store *xmldoc.Store
 	views []*View
+	opts  core.Options
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
 	return &Database{store: xmldoc.NewStore()}
+}
+
+// SetParallelism bounds how many views are maintained (or recomputed)
+// concurrently per update batch. Zero, the default, uses GOMAXPROCS; one
+// forces the sequential path. Views over the same database always refresh
+// under a single batch regardless, so the setting only affects wall-clock,
+// never results.
+func (db *Database) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.Parallelism = n
 }
 
 // LoadDocument parses src as XML and registers it under the given name,
@@ -207,7 +219,7 @@ func (db *Database) ApplyUpdates(script string) ([]*MaintenanceReport, error) {
 	for i, v := range db.views {
 		views[i] = v.view
 	}
-	stats, err := core.MaintainAll(db.store, views, prims)
+	stats, err := core.MaintainAll(db.store, views, prims, db.opts)
 	if err != nil {
 		return nil, err
 	}
