@@ -10,6 +10,7 @@ import (
 
 	"xqview/internal/bench"
 	"xqview/internal/core"
+	"xqview/internal/obs"
 	"xqview/internal/update"
 	"xqview/internal/xmark"
 	"xqview/internal/xmldoc"
@@ -167,6 +168,59 @@ func BenchmarkMaintainMultiView(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMaintainObserved is the PR 2 overhead benchmark: the same
+// maintenance batch with observability fully off, with the metrics registry
+// recording, and with span tracing on top. Comparing the arms (benchstat, or
+// scripts/bench_pr2.sh into BENCH_PR2.json) bounds the cost of the
+// instrumentation; the off arm must match BenchmarkMaintainInsert-era
+// numbers since the disabled path is a nil-check.
+func BenchmarkMaintainObserved(b *testing.B) {
+	arms := []struct {
+		name    string
+		metrics bool
+		traced  bool
+	}{
+		{"obs=off", false, false},
+		{"obs=metrics", true, false},
+		{"obs=trace", true, true},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			prev := obs.SetEnabled(arm.metrics)
+			defer obs.SetEnabled(prev)
+			s := benchBibStore(b, 200)
+			views := make([]*core.View, 4)
+			for i := range views {
+				q := bench.BibQ2
+				if i%2 == 1 {
+					q = bench.BibQ1
+				}
+				v, err := core.NewView(s, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				views[i] = v
+			}
+			bib, _ := s.RootElem("bib.xml")
+			opts := core.Options{Parallelism: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if arm.traced {
+					// A fresh tracer per iteration keeps the event buffer
+					// from growing unboundedly across b.N.
+					opts.Tracer = obs.NewTracer()
+				}
+				prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+					Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1992"),
+						xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("ob-%d", i))))}}
+				if _, err := core.MaintainAll(s, views, prims, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

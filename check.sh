@@ -8,6 +8,14 @@
 set -eu
 cd "$(dirname "$0")"
 
+echo "== gofmt -l" >&2
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..." >&2
 go vet ./...
 

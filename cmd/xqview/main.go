@@ -5,21 +5,31 @@
 //
 //	xqview -doc name=file.xml [-doc name2=file2.xml ...] -query query.xq \
 //	       [-updates updates.xqu] [-plan] [-sapt] [-report] [-pretty] \
-//	       [-parallel N]
+//	       [-parallel N] [-trace out.json] [-http :6060] [-serve] \
+//	       [-logjson] [-v]
 //
 // The view is materialized and printed. With -updates, the update script is
 // applied through the VPA pipeline and the refreshed view is printed; with
 // -report, the maintenance breakdown is printed to stderr.
+//
+// Observability: -trace records every VPA phase and XAT operator as spans
+// and writes Chrome trace-event JSON (open in chrome://tracing or Perfetto
+// at https://ui.perfetto.dev). -http serves /metrics (Prometheus text),
+// /debug/vars (expvar) and /debug/pprof/ for the lifetime of the process;
+// add -serve to keep the process alive for scraping after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"xqview"
+	"xqview/internal/obs"
 )
 
 type docFlags []string
@@ -52,6 +62,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	report := fs.Bool("report", false, "print the maintenance report to stderr")
 	pretty := fs.Bool("pretty", false, "indent the printed view")
 	parallel := fs.Int("parallel", 0, "max views maintained concurrently per batch (0 = GOMAXPROCS, 1 = sequential)")
+	traceFile := fs.String("trace", "", "write Chrome trace-event JSON of the maintenance run to this file")
+	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+	serve := fs.Bool("serve", false, "with -http: keep serving after the run instead of exiting")
+	logJSON := fs.Bool("logjson", false, "emit log lines as JSON instead of key=value text")
+	verbose := fs.Bool("v", false, "log at debug level")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,8 +74,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("need at least one -doc and a -query")
 	}
+
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	log := obs.NewLogger(stderr, level)
+	if *logJSON {
+		log.JSON()
+	}
+
 	db := xqview.NewDatabase()
 	db.SetParallelism(*parallel)
+	db.SetLogger(log)
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		db.SetTracer(tracer)
+		obs.SetEnabled(true)
+	}
+	if *httpAddr != "" {
+		obs.SetEnabled(true)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability endpoint: %w", err)
+		}
+		srv := &http.Server{Handler: obs.Handler(obs.Default)}
+		go srv.Serve(ln)
+		defer ln.Close()
+		log.Info("observability endpoint up", "addr", ln.Addr().String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+	}
+
 	for _, d := range docs {
 		name, file, _ := strings.Cut(d, "=")
 		data, err := os.ReadFile(file)
@@ -70,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := db.LoadDocument(name, string(data)); err != nil {
 			return err
 		}
+		log.Debug("document loaded", "doc", name, "bytes", len(data))
 	}
 	query, err := os.ReadFile(*queryFile)
 	if err != nil {
@@ -79,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	log.Debug("view materialized", "view", v.Name(), "self_maintainable", v.SelfMaintainable())
 	if *showPlan {
 		fmt.Fprintln(stderr, v.PlanString())
 	}
@@ -91,9 +139,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return v.XML()
 	}
+	finish := func() error {
+		if tracer != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Info("trace written", "file", *traceFile, "events", tracer.Len())
+		}
+		if *httpAddr != "" && *serve {
+			log.Info("serving until interrupted", "addr", *httpAddr)
+			select {} // scrape /metrics, /debug/pprof; exit with SIGINT
+		}
+		return nil
+	}
 	if *updatesFile == "" {
 		fmt.Fprintln(stdout, render())
-		return nil
+		return finish()
 	}
 	fmt.Fprintln(stderr, "-- initial extent --")
 	fmt.Fprintln(stderr, render())
@@ -109,5 +178,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stderr, rep)
 	}
 	fmt.Fprintln(stdout, render())
-	return nil
+	return finish()
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xqview/internal/obs"
+)
+
+func TestRunTraceFlag(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false)) // -trace enables globally; restore
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", `<bib><book year="1994"><title>A</title></book><book year="2000"><title>B</title></book></bib>`)
+	query := write(t, dir, "q.xq", `<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`)
+	upd := write(t, dir, "u.xqu", `
+for $b in document("bib.xml")/bib/book
+where $b/title = "B"
+update $b
+delete $b`)
+	traceOut := filepath.Join(dir, "trace.json")
+	var out, errw strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-trace", traceOut}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "trace written") {
+		t.Fatalf("stderr missing trace confirmation:\n%s", errw.String())
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc2); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	have := map[string]bool{}
+	for _, e := range doc2.TraceEvents {
+		have[e.Name] = true
+	}
+	for _, want := range []string{"MaintainAll", "Validate", "Propagate", "Apply"} {
+		if !have[want] {
+			t.Fatalf("trace missing %q span; names: %v", want, have)
+		}
+	}
+}
+
+func TestRunHTTPFlag(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false)) // -http enables globally; restore
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", `<bib><book year="1994"><title>A</title></book></bib>`)
+	query := write(t, dir, "q.xq", `<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`)
+	var out, errw strings.Builder
+	// Port 0 picks a free port; without -serve the process does not block.
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-http", "127.0.0.1:0"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "observability endpoint up") {
+		t.Fatalf("stderr missing endpoint log:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "/metrics") {
+		t.Fatalf("endpoint log does not name /metrics:\n%s", errw.String())
+	}
+}
+
+func TestRunLogJSON(t *testing.T) {
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", `<bib><book year="1994"><title>A</title></book><book year="2000"><title>B</title></book></bib>`)
+	query := write(t, dir, "q.xq", `<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`)
+	upd := write(t, dir, "u.xqu", `
+for $b in document("bib.xml")/bib/book
+where $b/title = "B"
+update $b
+delete $b`)
+	var out, errw strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-logjson", "-v"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+	// Every logger line must be valid JSON with the expected keys; the
+	// maintenance summary must be among them.
+	sawMaintained := false
+	for _, line := range strings.Split(errw.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // plan/report/extent markers are not logger output
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if m["msg"] == "maintained" {
+			sawMaintained = true
+			if m["view"] != "view-0" {
+				t.Fatalf("summary names wrong view: %v", m)
+			}
+			if _, ok := m["updates"]; !ok {
+				t.Fatalf("summary missing updates count: %v", m)
+			}
+		}
+	}
+	if !sawMaintained {
+		t.Fatalf("no maintenance summary logged:\n%s", errw.String())
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"xqview/internal/obs"
 )
 
 // Options configures a maintenance or recomputation run.
@@ -14,6 +17,11 @@ type Options struct {
 	// The Validate phase and the final source refresh are always
 	// single-threaded: they are the only phases that mutate shared state.
 	Parallelism int
+
+	// Tracer, when non-nil, records a span per VPA phase and per XAT
+	// operator during propagation, renderable as Chrome trace-event JSON
+	// (xqview -trace). A nil Tracer costs nothing.
+	Tracer *obs.Tracer
 }
 
 // getOpts resolves the variadic options accepted by the maintenance entry
@@ -40,6 +48,33 @@ func (o Options) workers(n int) int {
 	return p
 }
 
+// Worker-pool metric series: queue depth and utilization of the bounded
+// pool MaintainAll/RecomputeAll fan work over. Busy time over (tasks ×
+// wall) gives per-run worker utilization; the gauges expose the live state
+// for the serving-mode endpoint.
+var (
+	gPoolWorkers = obs.Default.GaugeOf("xqview_pool_workers", "workers of the most recent maintenance pool")
+	gPoolActive  = obs.Default.GaugeOf("xqview_pool_active_workers", "workers currently running a task")
+	gPoolQueue   = obs.Default.GaugeOf("xqview_pool_queue_depth", "tasks not yet claimed by a worker")
+	cPoolTasks   = obs.Default.CounterOf("xqview_pool_tasks_total", "tasks executed by the pool")
+	cPoolBusyNS  = obs.Default.CounterOf("xqview_pool_busy_nanoseconds_total", "cumulative task execution time")
+	hPoolTask    = obs.Default.HistogramOf("xqview_pool_task_seconds", "per-task (per-view Propagate+Apply) latency")
+)
+
+// runTask wraps one pool task with the utilization metrics. Callers gate on
+// obs.Enabled() so the disabled path stays a plain call.
+func runTask(fn func(i int) error, i int) error {
+	gPoolActive.Add(1)
+	t0 := time.Now()
+	err := fn(i)
+	d := time.Since(t0)
+	gPoolActive.Add(-1)
+	cPoolTasks.Inc()
+	cPoolBusyNS.Add(d.Nanoseconds())
+	hPoolTask.Observe(d)
+	return err
+}
+
 // forEachIndex runs fn(0..n-1) over a bounded worker pool. Output slots are
 // index-addressed by the callers, so completion order never affects result
 // order. The first error cancels the pool: items not yet started are skipped,
@@ -47,9 +82,21 @@ func (o Options) workers(n int) int {
 // With one worker it degenerates to a plain sequential loop.
 func forEachIndex(n int, opt Options, fn func(i int) error) error {
 	p := opt.workers(n)
+	metrics := obs.Enabled()
+	if metrics {
+		gPoolWorkers.Set(int64(p))
+		gPoolQueue.Set(int64(n))
+	}
 	if p <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			var err error
+			if metrics {
+				gPoolQueue.Set(int64(n - i - 1))
+				err = runTask(fn, i)
+			} else {
+				err = fn(i)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -76,7 +123,18 @@ func forEachIndex(n int, opt Options, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				var err error
+				if metrics {
+					if left := int64(n) - next.Load(); left >= 0 {
+						gPoolQueue.Set(left)
+					} else {
+						gPoolQueue.Set(0)
+					}
+					err = runTask(fn, i)
+				} else {
+					err = fn(i)
+				}
+				if err != nil {
 					once.Do(func() {
 						first = err
 						close(stop)
@@ -87,5 +145,8 @@ func forEachIndex(n int, opt Options, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if metrics {
+		gPoolQueue.Set(0)
+	}
 	return first
 }

@@ -11,6 +11,7 @@ import (
 
 	"xqview/internal/compile"
 	"xqview/internal/deepunion"
+	"xqview/internal/obs"
 	"xqview/internal/sapt"
 	"xqview/internal/update"
 	"xqview/internal/validate"
@@ -26,9 +27,22 @@ type View struct {
 	SAPT   *sapt.Tree
 	Extent []*xat.VNode
 
+	// Name identifies the view in traces, logs and maintenance errors.
+	// Optional; when empty, a positional "view-<i>" label is used.
+	Name string
+
 	// ExecStats accumulates engine statistics across materialization and
 	// maintenance runs.
 	ExecStats xat.Stats
+}
+
+// displayName labels the view for traces and errors: its Name if set, else
+// its position in the batch.
+func (v *View) displayName(i int) string {
+	if v.Name != "" {
+		return v.Name
+	}
+	return fmt.Sprintf("view-%d", i)
 }
 
 // MaintStats reports one maintenance run (the Ch 9 breakdown).
@@ -43,6 +57,12 @@ type MaintStats struct {
 	Union      deepunion.Stats
 	DeltaRoots int
 }
+
+// Add accumulates o into s: durations and counters sum field by field, and
+// the nested Validation/Union stats fold recursively through the same
+// generic helper every Stats type in the engine uses, so new counters are
+// never silently dropped from aggregation.
+func (s *MaintStats) Add(o MaintStats) { obs.AddFields(s, o) }
 
 // NewView compiles the query, derives its SAPT, and materializes the
 // initial extent.
@@ -128,19 +148,26 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	trees := make([]*sapt.Tree, len(views))
 	for i, v := range views {
 		if v.Store != store {
-			return nil, fmt.Errorf("core: view %d is defined over a different store", i)
+			return nil, fmt.Errorf("core: view %q is defined over a different store", v.displayName(i))
 		}
 		trees[i] = v.SAPT
 	}
 	merged := sapt.Merge(trees...)
+	root := opt.Tracer.StartSpan("MaintainAll").
+		Arg("views", len(views)).Arg("prims", len(prims))
+	defer root.End()
 
 	// --- Validate phase (shared, single-threaded) ---
+	vspan := root.Child("Validate")
 	t0 := time.Now()
 	batch, err := validate.Validate(store, merged, prims)
 	if err != nil {
+		vspan.End()
 		return nil, fmt.Errorf("validate: %w", err)
 	}
 	validateTime := time.Since(t0)
+	vspan.Arg("total", batch.Stats.Total).Arg("irrelevant", batch.Stats.Irrelevant).
+		Arg("rewritten", batch.Stats.Rewritten).End()
 
 	// --- Propagate + Apply per view, all against the pre-update store ---
 	din := deltaInput(store, batch)
@@ -151,22 +178,34 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	propStats := make([]xat.Stats, len(views))
 	err = forEachIndex(len(views), opt, func(i int) error {
 		v := views[i]
+		// One trace track per view: concurrent views render side by side,
+		// with the Propagate/Apply phases and the per-operator spans of the
+		// maintenance plan nested inside.
+		vtrack := opt.Tracer.StartSpan(v.displayName(i))
+		defer vtrack.End()
 		ms := &MaintStats{Validate: validateTime, Validation: batch.Stats}
+		pspan := vtrack.Child("Propagate")
 		t0 := time.Now()
-		res, err := xat.PropagateDelta(v.Plan, din)
+		res, err := xat.PropagateDeltaTraced(v.Plan, din, pspan)
 		if err != nil {
-			return fmt.Errorf("propagate (view %d): %w", i, err)
+			pspan.End()
+			return fmt.Errorf("propagate view %q: %w", v.displayName(i), err)
 		}
 		ms.Propagate = time.Since(t0)
 		ms.DeltaRoots = len(res.Roots)
+		pspan.Arg("delta_roots", len(res.Roots)).End()
 		propStats[i] = *res.Stats
 
+		aspan := vtrack.Child("Apply")
 		t0 = time.Now()
 		v.Extent, err = deepunion.Apply(v.Extent, res.Roots, &ms.Union)
 		if err != nil {
-			return fmt.Errorf("apply (view %d): %w", i, err)
+			aspan.End()
+			return fmt.Errorf("apply view %q: %w", v.displayName(i), err)
 		}
 		ms.Apply = time.Since(t0)
+		aspan.Arg("merged", ms.Union.Merged).Arg("inserted", ms.Union.Inserted).
+			Arg("removed", ms.Union.Removed).End()
 		out[i] = ms
 		return nil
 	})
@@ -178,19 +217,53 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	}
 
 	// --- Refresh the source documents once (single-threaded) ---
+	sspan := root.Child("SourceRefresh")
 	t0 = time.Now()
 	for _, p := range batch.Prims() {
 		if err := update.ApplyToStore(store, p); err != nil {
+			sspan.End()
 			return nil, fmt.Errorf("source refresh: %w", err)
 		}
 	}
 	srcTime := time.Since(t0)
+	sspan.End()
 	total := time.Since(start)
 	for _, ms := range out {
 		ms.Source = srcTime
 		ms.Total = total
 	}
+	if obs.Enabled() {
+		recordMaintain(out)
+	}
 	return out, nil
+}
+
+// Phase latency metric series (the Ch 9 VPA breakdown as histograms) plus
+// the per-run counters the serving endpoint exposes.
+var (
+	hValidate     = obs.Default.HistogramOf("xqview_phase_seconds", "VPA phase latency per maintenance run", "phase", "validate")
+	hPropagate    = obs.Default.HistogramOf("xqview_phase_seconds", "VPA phase latency per maintenance run", "phase", "propagate")
+	hApply        = obs.Default.HistogramOf("xqview_phase_seconds", "VPA phase latency per maintenance run", "phase", "apply")
+	hSource       = obs.Default.HistogramOf("xqview_phase_seconds", "VPA phase latency per maintenance run", "phase", "source")
+	hTotal        = obs.Default.HistogramOf("xqview_maintain_seconds", "end-to-end maintenance batch latency")
+	cMaintainRuns = obs.Default.CounterOf("xqview_maintain_runs_total", "maintenance batches completed")
+)
+
+// recordMaintain folds one finished batch into the phase histograms. The
+// propagate/apply observations are per view; validate, source and total are
+// per batch (they are shared across the views of the batch).
+func recordMaintain(out []*MaintStats) {
+	cMaintainRuns.Inc()
+	if len(out) == 0 {
+		return
+	}
+	hValidate.Observe(out[0].Validate)
+	hSource.Observe(out[0].Source)
+	hTotal.Observe(out[0].Total)
+	for _, ms := range out {
+		hPropagate.Observe(ms.Propagate)
+		hApply.Observe(ms.Apply)
+	}
 }
 
 // deltaInput assembles the propagate-phase input from a validated batch.
@@ -250,12 +323,12 @@ func RecomputeAll(store *xmldoc.Store, queries []string, prims []*update.Primiti
 		for _, p := range prims {
 			cp := *p
 			if err := update.ApplyToStore(clone, &cp); err != nil {
-				return err
+				return fmt.Errorf("recompute view-%d: %w", i, err)
 			}
 		}
 		v, err := NewView(clone, queries[i])
 		if err != nil {
-			return err
+			return fmt.Errorf("recompute view-%d: %w", i, err)
 		}
 		out[i] = v.XML()
 		return nil

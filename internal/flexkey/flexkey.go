@@ -14,7 +14,19 @@
 // whose order differs from document order.
 package flexkey
 
-import "strings"
+import (
+	"strings"
+
+	"xqview/internal/obs"
+)
+
+// Key-generation metric series: every freshly allocated key (document load,
+// insert-key assignment, composed overriding-order keys) counts here when
+// metrics are enabled. One atomic-bool load when disabled.
+var (
+	cKeysGenerated = obs.Default.CounterOf("flexkey_keys_generated_total", "FlexKeys allocated (Append: load + insert assignment)")
+	cKeysComposed  = obs.Default.CounterOf("flexkey_keys_composed_total", "composed FlexKeys built (overriding order encoding)")
+)
 
 // Sep joins the per-level segments of a key.
 const Sep = "."
@@ -62,6 +74,9 @@ func Child(k Key, i int) Key {
 
 // Append returns k extended with one more level segment.
 func Append(k Key, seg string) Key {
+	if obs.Enabled() {
+		cKeysGenerated.Inc()
+	}
 	if k == "" {
 		return Key(seg)
 	}
@@ -93,6 +108,9 @@ func LastSegment(k Key) string {
 
 // Compose returns the composition of keys (k1..k2..k3...).
 func Compose(keys ...Key) Key {
+	if obs.Enabled() {
+		cKeysComposed.Inc()
+	}
 	parts := make([]string, len(keys))
 	for i, k := range keys {
 		parts[i] = string(k)

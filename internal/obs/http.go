@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration (expvar panics on duplicates).
+var publishOnce sync.Once
+
+// publishExpvar exposes the registry under the "xqview_metrics" expvar, so
+// /debug/vars carries the engine metrics next to the runtime's memstats.
+func publishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("xqview_metrics", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Handler returns the serving-mode observability endpoint:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (runtime memstats + the registry snapshot)
+//	/debug/pprof/  the standard pprof index, profiles and traces
+//
+// Mount it on the address of your choice (cmd/xqview wires it to -http).
+func Handler(r *Registry) http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("xqview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n"))
+	})
+	return mux
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Logger writes leveled structured lines (key=value text or JSON) to an
+// io.Writer. It replaces the ad-hoc prints of the command-line tools. A nil
+// *Logger discards everything, so call sites need no guards.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	json   bool
+	noTime bool // omit timestamps (deterministic output for tests)
+}
+
+// NewLogger creates a text (key=value) logger at the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// JSON switches the logger to JSON-lines output and returns it.
+func (l *Logger) JSON() *Logger {
+	if l != nil {
+		l.json = true
+	}
+	return l
+}
+
+// NoTime suppresses timestamps and returns the logger.
+func (l *Logger) NoTime() *Logger {
+	if l != nil {
+		l.noTime = true
+	}
+	return l
+}
+
+// Debug logs at debug level. kv are alternating keys and values.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if l == nil || lv < l.level {
+		return
+	}
+	var line []byte
+	if l.json {
+		obj := map[string]any{"level": lv.String(), "msg": msg}
+		if !l.noTime {
+			obj["ts"] = time.Now().Format(time.RFC3339Nano)
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			obj[fmt.Sprint(kv[i])] = jsonValue(kv[i+1])
+		}
+		line, _ = json.Marshal(obj)
+		line = append(line, '\n')
+	} else {
+		var b strings.Builder
+		if !l.noTime {
+			b.WriteString("ts=")
+			b.WriteString(time.Now().Format(time.RFC3339))
+			b.WriteByte(' ')
+		}
+		b.WriteString("level=")
+		b.WriteString(lv.String())
+		b.WriteString(" msg=")
+		b.WriteString(quoteIfNeeded(msg))
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(fmt.Sprint(kv[i]))
+			b.WriteByte('=')
+			b.WriteString(quoteIfNeeded(fmt.Sprint(kv[i+1])))
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// jsonValue keeps numbers and booleans typed and stringifies the rest
+// (durations, errors, fmt.Stringers) so JSON lines stay readable.
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case nil, bool, string,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "reflect"
+
+// AddFields accumulates src into dst field by field: every numeric field
+// (ints, uints, floats — which covers time.Duration counters) is summed,
+// and nested structs are folded recursively. All the engine's Stats types
+// (xat, validate, deepunion, core.MaintStats) route their Add methods
+// through this helper, so a counter added to any of them is aggregated
+// automatically instead of being silently dropped from a hand-written sum.
+//
+// Non-numeric fields (strings, maps, slices, pointers) are left untouched
+// on dst. The call is reflective and therefore not for per-tuple hot paths;
+// stats are folded once per maintenance run.
+func AddFields[T any](dst *T, src T) {
+	addValue(reflect.ValueOf(dst).Elem(), reflect.ValueOf(src))
+}
+
+func addValue(d, s reflect.Value) {
+	switch d.Kind() {
+	case reflect.Struct:
+		for i := 0; i < d.NumField(); i++ {
+			f := d.Field(i)
+			if !f.CanSet() {
+				continue
+			}
+			addValue(f, s.Field(i))
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		d.SetInt(d.Int() + s.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		d.SetUint(d.Uint() + s.Uint())
+	case reflect.Float32, reflect.Float64:
+		d.SetFloat(d.Float() + s.Float())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"xqview/internal/flexkey"
+	"xqview/internal/obs"
 	"xqview/internal/sapt"
 	"xqview/internal/update"
 	"xqview/internal/xmldoc"
@@ -36,6 +37,11 @@ type Stats struct {
 	Passed     int
 	Rewritten  int
 }
+
+// Add accumulates s2 into s field by field (via obs.AddFields, like every
+// Stats type in the engine), so counters added here aggregate without
+// touching call sites.
+func (s *Stats) Add(s2 Stats) { obs.AddFields(s, s2) }
 
 // Prims returns all validated primitives across documents.
 func (b *Batch) Prims() []*update.Primitive {

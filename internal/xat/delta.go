@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xqview/internal/flexkey"
+	"xqview/internal/obs"
 	"xqview/internal/xmldoc"
 )
 
@@ -41,12 +42,23 @@ type DeltaResult struct {
 // concurrency contract); each call builds private environments and returns
 // freshly allocated delta trees and stats.
 func PropagateDelta(p *Plan, in *DeltaInput) (*DeltaResult, error) {
+	return PropagateDeltaTraced(p, in, obs.Span{})
+}
+
+// PropagateDeltaTraced is PropagateDelta with an observability parent span:
+// every operator of the maintenance plan emits a child span (named
+// "Kind#id", carrying its delta tuple count) nested under parent, and base
+// sub-plan derivations emit "base:Kind#id" spans. The zero Span disables
+// tracing with no measurable cost; metric counters are gated separately on
+// obs.Enabled().
+func PropagateDeltaTraced(p *Plan, in *DeltaInput, parent obs.Span) (*DeltaResult, error) {
 	e := &deltaEngine{
 		plan:     p,
 		in:       in,
 		env:      NewEnv(in.New),
 		baseEnv:  NewEnv(in.Base),
 		baseMemo: map[*Op]*Table{},
+		span:     parent,
 	}
 	// Base and delta runs share the skeleton registry so delta tuples that
 	// carry base-constructed items can be dereferenced.
@@ -66,6 +78,11 @@ func PropagateDelta(p *Plan, in *DeltaInput) (*DeltaResult, error) {
 	}
 	roots := e.materializeDelta(final, col)
 	e.env.Stats.Exec += time.Since(t0)
+	if obs.Enabled() {
+		cDeltaRuns.Inc()
+		cDeltaRows.Add(int64(len(roots)))
+		gSkeletons.Set(int64(len(e.env.Cons)))
+	}
 	return &DeltaResult{Roots: roots, Stats: e.env.Stats}, nil
 }
 
@@ -75,6 +92,7 @@ type deltaEngine struct {
 	env      *Env // over the post-update reader
 	baseEnv  *Env // over the pre-update store
 	baseMemo map[*Op]*Table
+	span     obs.Span // parent span for per-operator tracing (zero = off)
 }
 
 // base executes the sub-plan rooted at o over the pre-update store.
@@ -82,10 +100,19 @@ func (e *deltaEngine) base(o *Op) (*Table, error) {
 	if t, ok := e.baseMemo[o]; ok {
 		return t, nil
 	}
+	if obs.Enabled() {
+		cBaseDerivations.Inc()
+	}
+	var sp obs.Span
+	if e.span.Enabled() {
+		sp = e.span.Child("base:" + opSpanName(o))
+	}
 	t, err := evalOp(o, e.baseEnv)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Arg("tuples_out", len(t.Tuples)).End()
 	e.baseMemo[o] = t
 	return t, nil
 }
@@ -125,9 +152,25 @@ var (
 	AblationNoNavPruning = false
 )
 
-// delta computes the delta table of operator o.
+// delta computes the delta table of operator o. It is the single choke
+// point of the propagate phase, so the per-operator observability lives
+// here: a child span per operator (inputs recurse inside delta1, so spans
+// nest bottom-up on the view's track) and the delta/empty tuple counters.
 func (e *deltaEngine) delta(o *Op) (*Table, error) {
+	var sp obs.Span
+	if e.span.Enabled() {
+		sp = e.span.Child(opSpanName(o))
+	}
 	t, err := e.delta1(o)
+	if sp.Enabled() {
+		if err == nil {
+			sp.Arg("tuples_out", len(t.Tuples))
+		}
+		sp.End()
+	}
+	if err == nil && obs.Enabled() {
+		recordDelta(o, t)
+	}
 	if DeltaTrace && err == nil {
 		fmt.Printf("== delta op #%d %s ==\n%s\n", o.ID, o.Kind, t.String())
 	}

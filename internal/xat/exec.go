@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xqview/internal/flexkey"
+	"xqview/internal/obs"
 	"xqview/internal/xmldoc"
 )
 
@@ -20,14 +21,9 @@ type Stats struct {
 	FinalSort     time.Duration // sorting collections when dereferencing the result
 }
 
-// Add accumulates s2 into s.
-func (s *Stats) Add(s2 Stats) {
-	s.Exec += s2.Exec
-	s.OrderSchema += s2.OrderSchema
-	s.OverridingOrd += s2.OverridingOrd
-	s.IdentGen += s2.IdentGen
-	s.FinalSort += s2.FinalSort
-}
+// Add accumulates s2 into s field by field; counters added to Stats are
+// picked up without touching this method.
+func (s *Stats) Add(s2 Stats) { obs.AddFields(s, s2) }
 
 // SkelAttr is a resolved attribute of a constructed node.
 type SkelAttr struct {
@@ -107,7 +103,11 @@ func evalOp(o *Op, env *Env) (*Table, error) {
 		}
 		ins[i] = t
 	}
-	return applyOp(o, env, ins)
+	out, err := applyOp(o, env, ins)
+	if err == nil && obs.Enabled() {
+		recordExec(o, ins, out)
+	}
+	return out, err
 }
 
 // applyOp evaluates one operator over already-computed input tables. It is

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench_pr2.sh — capture the PR 2 observability-overhead benchmark into
+# BENCH_PR2.json: the same maintenance batch with observability off, with
+# the metrics registry on, and with full span tracing (benchstat-comparable
+# sub-benchmarks), plus the PR 1 multi-view benchmark re-run for trajectory
+# comparison against BENCH_PR1.json.
+#
+# Usage: scripts/bench_pr2.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainObserved|BenchmarkMaintainMultiView' \
+	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 2,\n'
+	printf '  "benchmark": "BenchmarkMaintainObserved+BenchmarkMaintainMultiView",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		/^Benchmark(MaintainObserved|MaintainMultiView)\// {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7)
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR2.json
+
+echo "wrote BENCH_PR2.json" >&2

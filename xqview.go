@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"xqview/internal/core"
+	"xqview/internal/obs"
 	"xqview/internal/update"
 	"xqview/internal/xmldoc"
 )
@@ -39,6 +40,7 @@ type Database struct {
 	store *xmldoc.Store
 	views []*View
 	opts  core.Options
+	log   *obs.Logger
 }
 
 // NewDatabase creates an empty database.
@@ -55,6 +57,25 @@ func (db *Database) SetParallelism(n int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.opts.Parallelism = n
+}
+
+// SetTracer attaches an observability tracer: every maintenance batch
+// records spans for the VPA phases of each view and for every operator of
+// the propagated plans. Write the result with obs.Tracer.WriteJSON and open
+// it in chrome://tracing or Perfetto. A nil tracer disables tracing.
+func (db *Database) SetTracer(t *obs.Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.Tracer = t
+}
+
+// SetLogger attaches a structured logger: the database emits one summary
+// line per view per maintenance batch. A nil logger (the default) is
+// silent.
+func (db *Database) SetLogger(l *obs.Logger) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.log = l
 }
 
 // LoadDocument parses src as XML and registers it under the given name,
@@ -105,6 +126,7 @@ func (db *Database) CreateView(query string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
+	cv.Name = fmt.Sprintf("view-%d", len(db.views))
 	v := &View{db: db, view: cv}
 	db.views = append(db.views, v)
 	return v, nil
@@ -119,6 +141,21 @@ type View struct {
 
 // Query returns the view's definition.
 func (v *View) Query() string { return v.view.Query }
+
+// Name returns the view's label, used in traces, logs and maintenance
+// errors. Defaults to "view-<n>" in registration order.
+func (v *View) Name() string {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	return v.view.Name
+}
+
+// SetName relabels the view.
+func (v *View) SetName(name string) {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	v.view.Name = name
+}
 
 // XML serializes the current materialized extent.
 func (v *View) XML() string {
@@ -221,11 +258,24 @@ func (db *Database) ApplyUpdates(script string) ([]*MaintenanceReport, error) {
 	}
 	stats, err := core.MaintainAll(db.store, views, prims, db.opts)
 	if err != nil {
+		if db.log != nil {
+			db.log.Error("maintenance failed", "err", err)
+		}
 		return nil, err
 	}
 	out := make([]*MaintenanceReport, len(stats))
 	for i, ms := range stats {
 		out[i] = report(ms)
+		if db.log != nil {
+			r := out[i]
+			db.log.Info("maintained",
+				"view", views[i].Name,
+				"validate", r.Validate, "propagate", r.Propagate,
+				"apply", r.Apply, "source", r.Source, "total", r.Total,
+				"updates", r.UpdatesTotal, "irrelevant", r.UpdatesIrrelevant,
+				"deltas", r.DeltaTrees, "merged", r.NodesMerged,
+				"inserted", r.NodesInserted, "removed", r.FragmentsRemoved)
+		}
 	}
 	return out, nil
 }
