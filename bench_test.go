@@ -10,6 +10,7 @@ import (
 
 	"xqview/internal/bench"
 	"xqview/internal/core"
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/update"
 	"xqview/internal/xmark"
@@ -216,6 +217,54 @@ func BenchmarkMaintainObserved(b *testing.B) {
 				prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
 					Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1992"),
 						xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("ob-%d", i))))}}
+				if _, err := core.MaintainAll(s, views, prims, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaintainJournaled is the PR 3 overhead benchmark: the same
+// maintenance batch as BenchmarkMaintainObserved with the provenance
+// journal off and on (observability metrics off in both arms, so the off
+// arm is allocation-comparable to BenchmarkMaintainObserved/obs=off). The
+// on arm bounds the cost of recording verdicts, operator lineage and apply
+// fusions into the bounded round ring.
+func BenchmarkMaintainJournaled(b *testing.B) {
+	for _, arm := range []struct {
+		name      string
+		journaled bool
+	}{
+		{"journal=off", false},
+		{"journal=on", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			prevObs := obs.SetEnabled(false)
+			defer obs.SetEnabled(prevObs)
+			defer journal.SetEnabled(journal.SetEnabled(arm.journaled))
+			journal.Default.Reset()
+			defer journal.Default.Reset()
+			s := benchBibStore(b, 200)
+			views := make([]*core.View, 4)
+			for i := range views {
+				q := bench.BibQ2
+				if i%2 == 1 {
+					q = bench.BibQ1
+				}
+				v, err := core.NewView(s, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				views[i] = v
+			}
+			bib, _ := s.RootElem("bib.xml")
+			opts := core.Options{Parallelism: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+					Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1992"),
+						xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("jr-%d", i))))}}
 				if _, err := core.MaintainAll(s, views, prims, opts); err != nil {
 					b.Fatal(err)
 				}

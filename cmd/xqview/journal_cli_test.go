@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xqview/internal/obs"
+)
+
+const journalCLIQuery = `<r>{ for $b in doc("bib.xml")/bib/book where $b/@year = "1994" return $b/title }</r>`
+
+const journalCLIDoc = `<bib><book year="1994"><title>A</title></book><book year="2000"><title>B</title></book></bib>`
+
+const journalCLIUpdates = `
+for $x in document("bib.xml")/bib
+update $x
+insert <book year="1994"><title>New</title></book> into $x`
+
+// journalDump parses the JSON object the -journal flag appends to stdout
+// (everything after the serialized view extent).
+func journalDump(t *testing.T, stdout string) map[string]any {
+	t.Helper()
+	i := strings.Index(stdout, "\n{")
+	if i < 0 {
+		t.Fatalf("stdout has no journal dump:\n%s", stdout)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(stdout[i+1:]), &m); err != nil {
+		t.Fatalf("journal dump is not valid JSON: %v\n%s", err, stdout[i+1:])
+	}
+	return m
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", journalCLIDoc)
+	query := write(t, dir, "q.xq", journalCLIQuery)
+	upd := write(t, dir, "u.xqu", journalCLIUpdates)
+	stream := filepath.Join(dir, "stream.jsonl")
+
+	var rec, recErr strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-record", stream, "-journal"}, &rec, &recErr)
+	if err != nil {
+		t.Fatalf("record run: %v\n%s", err, recErr.String())
+	}
+	if !strings.Contains(rec.String(), "<title>New</title>") {
+		t.Fatalf("inserted title missing from refreshed view:\n%s", rec.String())
+	}
+	if data, err := os.ReadFile(stream); err != nil || len(data) == 0 {
+		t.Fatalf("recorded stream unreadable or empty: %v", err)
+	}
+
+	var rep, repErr strings.Builder
+	err = run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-replay", stream, "-journal"}, &rep, &repErr)
+	if err != nil {
+		t.Fatalf("replay run: %v\n%s", err, repErr.String())
+	}
+	if !strings.Contains(repErr.String(), "update stream replayed") {
+		t.Fatalf("stderr missing replay confirmation:\n%s", repErr.String())
+	}
+	// The replay reproduces the maintenance byte-for-byte: identical view
+	// extent AND identical journal records (verdicts, lineage, fusions).
+	if rec.String() != rep.String() {
+		t.Fatalf("replay diverged from recorded run:\n--- recorded\n%s\n--- replayed\n%s",
+			rec.String(), rep.String())
+	}
+}
+
+func TestUpdatesAndReplayExclusive(t *testing.T) {
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", journalCLIDoc)
+	query := write(t, dir, "q.xq", journalCLIQuery)
+	upd := write(t, dir, "u.xqu", journalCLIUpdates)
+	var out, errw strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-replay", upd}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion error", err)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", journalCLIDoc)
+	query := write(t, dir, "q.xq", journalCLIQuery)
+	upd := write(t, dir, "u.xqu", journalCLIUpdates)
+
+	// First run dumps the journal to discover the key the insert fused in.
+	var out1, err1 strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-journal"}, &out1, &err1)
+	if err != nil {
+		t.Fatalf("journal run: %v\n%s", err, err1.String())
+	}
+	dump := journalDump(t, out1.String())
+	var viewKey string
+	for _, r := range dump["rounds"].([]any) {
+		for _, lin := range r.(map[string]any)["lineage"].([]any) {
+			for _, fu := range lin.(map[string]any)["fusions"].([]any) {
+				f := fu.(map[string]any)
+				if f["inserts"].(float64) > 0 {
+					viewKey = f["view_key"].(string)
+				}
+			}
+		}
+	}
+	if viewKey == "" {
+		t.Fatalf("no fusion with inserts in journal dump:\n%s", out1.String())
+	}
+
+	// Second run explains that key: the chain must name the originating
+	// primitive, its verdict, at least one plan operator, and the fusion.
+	var out2, err2 strings.Builder
+	err = run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-explain", "view-0=" + viewKey}, &out2, &err2)
+	if err != nil {
+		t.Fatalf("explain run: %v\n%s", err, err2.String())
+	}
+	for _, want := range []string{"primitive #", "verdict: accept", "propagation:", "fused into view node"} {
+		if !strings.Contains(out2.String(), want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out2.String())
+		}
+	}
+
+	// Without view=, the key goes against the run's only view.
+	var out3, err3 strings.Builder
+	err = run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-explain", viewKey}, &out3, &err3)
+	if err != nil {
+		t.Fatalf("explain (bare key) run: %v\n%s", err, err3.String())
+	}
+	if out3.String() != out2.String() {
+		t.Fatalf("bare-key explain differs from view=key explain:\n%s\nvs\n%s",
+			out3.String(), out2.String())
+	}
+}
+
+func TestServeSignalFlushesOutput(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false)) // -http/-trace enable globally; restore
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", journalCLIDoc)
+	query := write(t, dir, "q.xq", journalCLIQuery)
+	upd := write(t, dir, "u.xqu", journalCLIUpdates)
+	traceOut := filepath.Join(dir, "trace.json")
+
+	// Pre-load the shutdown signal: serve mode must wake on it and only
+	// then flush the trace file and journal dump.
+	testShutdown = make(chan os.Signal, 1)
+	testShutdown <- os.Interrupt
+	defer func() { testShutdown = nil }()
+
+	var out, errw strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-http", "127.0.0.1:0", "-serve",
+		"-trace", traceOut, "-journal"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+	for _, want := range []string{"serving until interrupted", "shutting down", "trace written"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errw.String())
+		}
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("trace not flushed after shutdown: %v", err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Fatalf("flushed trace malformed:\n%s", data)
+	}
+	if dump := journalDump(t, out.String()); len(dump["rounds"].([]any)) != 1 {
+		t.Fatalf("journal dump rounds = %v, want 1", dump["rounds"])
+	}
+}

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	xqview -doc name=file.xml [-doc name2=file2.xml ...] -query query.xq \
-//	       [-updates updates.xqu] [-plan] [-sapt] [-report] [-pretty] \
-//	       [-parallel N] [-trace out.json] [-http :6060] [-serve] \
+//	       [-updates updates.xqu | -replay stream.jsonl] [-record stream.jsonl] \
+//	       [-journal] [-explain view=flexkey] [-plan] [-sapt] [-report] \
+//	       [-pretty] [-parallel N] [-trace out.json] [-http :6060] [-serve] \
 //	       [-logjson] [-v]
 //
 // The view is materialized and printed. With -updates, the update script is
@@ -15,8 +16,17 @@
 // Observability: -trace records every VPA phase and XAT operator as spans
 // and writes Chrome trace-event JSON (open in chrome://tracing or Perfetto
 // at https://ui.perfetto.dev). -http serves /metrics (Prometheus text),
-// /debug/vars (expvar) and /debug/pprof/ for the lifetime of the process;
-// add -serve to keep the process alive for scraping after the run.
+// /debug/vars (expvar), /debug/pprof/ and /journal for the lifetime of the
+// process; add -serve to keep the process alive for scraping after the run
+// (SIGINT/SIGTERM shuts down and still flushes -trace and -journal output).
+//
+// Provenance: -journal dumps the maintenance journal (per-round verdicts,
+// operator lineage and apply fusions) as JSON; -explain view=key (or just
+// -explain key) prints the causal chain for one view node — which update
+// primitive produced it, through which plan operators, fused from which
+// source nodes. -record file streams every applied update batch to a file;
+// -replay file re-applies such a stream instead of -updates, reproducing
+// the same maintenance rounds deterministically.
 package main
 
 import (
@@ -26,11 +36,30 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"xqview"
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 )
+
+// testShutdown, when non-nil, replaces the SIGINT/SIGTERM wait in serve
+// mode so tests can trigger a deterministic shutdown.
+var testShutdown chan os.Signal
+
+// waitShutdown blocks until the process receives SIGINT or SIGTERM (or, in
+// tests, until testShutdown fires).
+func waitShutdown() {
+	ch := testShutdown
+	if ch == nil {
+		ch = make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(ch)
+	}
+	<-ch
+}
 
 type docFlags []string
 
@@ -67,12 +96,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	serve := fs.Bool("serve", false, "with -http: keep serving after the run instead of exiting")
 	logJSON := fs.Bool("logjson", false, "emit log lines as JSON instead of key=value text")
 	verbose := fs.Bool("v", false, "log at debug level")
+	journalDump := fs.Bool("journal", false, "dump the maintenance journal (verdicts, lineage, fusions) as JSON to stdout")
+	explainKey := fs.String("explain", "", "explain why a view node exists, as view=flexkey (or just flexkey for the only view)")
+	recordFile := fs.String("record", "", "stream every applied update batch to this file (replayable with -replay)")
+	replayFile := fs.String("replay", "", "re-apply a recorded update stream instead of -updates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(docs) == 0 || *queryFile == "" {
 		fs.Usage()
 		return fmt.Errorf("need at least one -doc and a -query")
+	}
+	if *updatesFile != "" && *replayFile != "" {
+		return fmt.Errorf("-updates and -replay are mutually exclusive")
+	}
+	if *journalDump || *explainKey != "" {
+		// Journal this process's rounds from a clean slate, restoring the
+		// prior state on return (tests run several CLI invocations in one
+		// process).
+		defer journal.SetEnabled(journal.SetEnabled(true))
+		journal.Default.Reset()
 	}
 
 	level := obs.LevelInfo
@@ -100,11 +143,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("observability endpoint: %w", err)
 		}
-		srv := &http.Server{Handler: obs.Handler(obs.Default)}
+		srv := &http.Server{Handler: obs.Handler(obs.Default,
+			obs.Route{Pattern: "/journal", Handler: journal.Default.HTTPHandler()})}
 		go srv.Serve(ln)
 		defer ln.Close()
 		log.Info("observability endpoint up", "addr", ln.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/")
+			"paths", "/metrics /debug/vars /debug/pprof/ /journal")
 	}
 
 	for _, d := range docs {
@@ -133,6 +177,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *showSAPT {
 		fmt.Fprintln(stderr, v.SAPTString())
 	}
+	if *recordFile != "" {
+		f, err := os.Create(*recordFile)
+		if err != nil {
+			return fmt.Errorf("update recorder: %w", err)
+		}
+		defer f.Close()
+		db.SetUpdateRecorder(f)
+	}
 	render := func() string {
 		if *pretty {
 			return v.XMLIndent()
@@ -140,6 +192,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return v.XML()
 	}
 	finish := func() error {
+		if *httpAddr != "" && *serve {
+			log.Info("serving until interrupted", "addr", *httpAddr)
+			waitShutdown()
+			log.Info("shutting down; flushing observability output")
+		}
 		if tracer != nil {
 			f, err := os.Create(*traceFile)
 			if err != nil {
@@ -154,28 +211,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			log.Info("trace written", "file", *traceFile, "events", tracer.Len())
 		}
-		if *httpAddr != "" && *serve {
-			log.Info("serving until interrupted", "addr", *httpAddr)
-			select {} // scrape /metrics, /debug/pprof; exit with SIGINT
+		if *explainKey != "" {
+			view, key := v.Name(), *explainKey
+			if vw, k, ok := strings.Cut(*explainKey, "="); ok {
+				view, key = vw, k
+			}
+			chain, err := journal.Default.Explain(view, key)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, chain)
+		}
+		if *journalDump {
+			if err := journal.Default.WriteJSON(stdout); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
-	if *updatesFile == "" {
+	if *updatesFile == "" && *replayFile == "" {
 		fmt.Fprintln(stdout, render())
 		return finish()
 	}
 	fmt.Fprintln(stderr, "-- initial extent --")
 	fmt.Fprintln(stderr, render())
-	script, err := os.ReadFile(*updatesFile)
-	if err != nil {
-		return err
-	}
-	rep, err := v.ApplyUpdates(string(script))
-	if err != nil {
-		return err
-	}
-	if *report {
-		fmt.Fprintln(stderr, rep)
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			return err
+		}
+		n, err := db.ReplayUpdates(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Info("update stream replayed", "file", *replayFile, "batches", n)
+	} else {
+		script, err := os.ReadFile(*updatesFile)
+		if err != nil {
+			return err
+		}
+		rep, err := v.ApplyUpdates(string(script))
+		if err != nil {
+			return err
+		}
+		if *report {
+			fmt.Fprintln(stderr, rep)
+		}
 	}
 	fmt.Fprintln(stdout, render())
 	return finish()

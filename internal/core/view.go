@@ -11,6 +11,7 @@ import (
 
 	"xqview/internal/compile"
 	"xqview/internal/deepunion"
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/sapt"
 	"xqview/internal/update"
@@ -144,6 +145,25 @@ func (v *View) ApplyUpdates(prims []*update.Primitive, opts ...Options) (*MaintS
 // point. Source documents are refreshed single-threaded afterwards.
 func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opts ...Options) ([]*MaintStats, error) {
 	opt := getOpts(opts)
+	// Provenance journaling: MaintainAll owns the round lifecycle — it
+	// stamps the round ID at Begin and commits the round (success or
+	// failure) into the Default journal's retention ring. All downstream
+	// recording threads through the nil-safe RoundRec/ViewRec handles, so
+	// with the gate off the pipeline carries a nil pointer and nothing else.
+	var jrec *journal.RoundRec
+	if journal.Enabled() {
+		names := make([]string, len(views))
+		for i, v := range views {
+			names[i] = v.displayName(i)
+		}
+		jrec = journal.Default.Begin(names, len(prims))
+	}
+	out, err := maintainAll(store, views, prims, opt, jrec)
+	jrec.Commit(err)
+	return out, err
+}
+
+func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opt Options, jrec *journal.RoundRec) ([]*MaintStats, error) {
 	start := time.Now()
 	trees := make([]*sapt.Tree, len(views))
 	for i, v := range views {
@@ -160,12 +180,18 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	// --- Validate phase (shared, single-threaded) ---
 	vspan := root.Child("Validate")
 	t0 := time.Now()
-	batch, err := validate.Validate(store, merged, prims)
+	batch, err := validate.ValidateRec(store, merged, prims, jrec)
 	if err != nil {
 		vspan.End()
 		return nil, fmt.Errorf("validate: %w", err)
 	}
 	validateTime := time.Since(t0)
+	if jrec.Active() {
+		// Snapshot the primitive stream after validation so pass-class
+		// inserts carry their assigned FlexKeys (explain links delta tuples
+		// back to these keys).
+		jrec.SetPrims(journal.EncodePrims(prims))
+	}
 	vspan.Arg("total", batch.Stats.Total).Arg("irrelevant", batch.Stats.Irrelevant).
 		Arg("rewritten", batch.Stats.Rewritten).End()
 
@@ -184,9 +210,12 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		vtrack := opt.Tracer.StartSpan(v.displayName(i))
 		defer vtrack.End()
 		ms := &MaintStats{Validate: validateTime, Validation: batch.Stats}
+		// Each worker records into its own view's lineage slot; slots are
+		// pre-allocated at Begin, so no cross-worker synchronization.
+		vrec := jrec.View(i)
 		pspan := vtrack.Child("Propagate")
 		t0 := time.Now()
-		res, err := xat.PropagateDeltaTraced(v.Plan, din, pspan)
+		res, err := xat.PropagateDeltaObserved(v.Plan, din, pspan, vrec)
 		if err != nil {
 			pspan.End()
 			return fmt.Errorf("propagate view %q: %w", v.displayName(i), err)
@@ -198,7 +227,7 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 
 		aspan := vtrack.Child("Apply")
 		t0 = time.Now()
-		v.Extent, err = deepunion.Apply(v.Extent, res.Roots, &ms.Union)
+		v.Extent, err = deepunion.ApplyRec(v.Extent, res.Roots, &ms.Union, vrec)
 		if err != nil {
 			aspan.End()
 			return fmt.Errorf("apply view %q: %w", v.displayName(i), err)

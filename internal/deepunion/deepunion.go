@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/xat"
 )
@@ -50,8 +51,53 @@ type applyCtx struct {
 // Apply merges the delta trees into the view roots and prunes dead
 // fragments, returning the refreshed roots.
 func Apply(roots []*xat.VNode, deltas []*xat.VNode, st *Stats) ([]*xat.VNode, error) {
+	return ApplyRec(roots, deltas, st, nil)
+}
+
+// fusionOf summarizes one delta tree for the journal: the view node it is
+// fused into, the distinct source FlexKeys it carries, and the counting
+// solution's insert/delete/modify totals across the tree.
+func fusionOf(d *xat.VNode) journal.Fusion {
+	f := journal.Fusion{ViewKey: d.ID.Key()}
+	seen := map[string]bool{}
+	var walk func(n *xat.VNode)
+	walk = func(n *xat.VNode) {
+		if !n.ID.Constructed && n.ID.Body != "" && !seen[n.ID.Body] {
+			seen[n.ID.Body] = true
+			if len(f.Sources) < journal.MaxFusionSources {
+				f.Sources = append(f.Sources, n.ID.Body)
+			}
+		}
+		switch {
+		case n.Mod:
+			f.Mods++
+		case n.Count > 0:
+			f.Inserts++
+		case n.Count < 0:
+			f.Deletes++
+		}
+		for _, a := range n.Attrs {
+			walk(a)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d)
+	return f
+}
+
+// ApplyRec is Apply with an optional provenance recorder: each delta tree
+// fused into the extent lands in the journal as a Fusion record. A nil
+// recorder records nothing.
+func ApplyRec(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.ViewRec) ([]*xat.VNode, error) {
 	if st == nil {
 		st = &Stats{}
+	}
+	if rec.Active() {
+		for _, d := range deltas {
+			rec.Fusion(fusionOf(d))
+		}
 	}
 	if obs.Enabled() {
 		before := *st

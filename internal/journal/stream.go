@@ -1,0 +1,218 @@
+package journal
+
+// Record/replay of the primitive stream. A recorded stream is a JSONL file:
+// one {"prims":[...]} object per maintenance round. Fragments are encoded
+// structurally (FragRecord) rather than as XML text so the round trip is
+// lossless — replaying a stream against the same initial store reproduces
+// the exact primitives, hence (by determinism of the VPA pipeline) the
+// exact view extents and journal records.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/update"
+	"xqview/internal/xmldoc"
+)
+
+// FragRecord is the JSON form of an xmldoc.Frag.
+type FragRecord struct {
+	Kind     string        `json:"kind"` // "element" | "attr" | "text" | "document"
+	Name     string        `json:"name,omitempty"`
+	Value    string        `json:"value,omitempty"`
+	Attrs    []*FragRecord `json:"attrs,omitempty"`
+	Children []*FragRecord `json:"children,omitempty"`
+}
+
+// PrimRecord is the JSON form of an update.Primitive.
+type PrimRecord struct {
+	Kind     string      `json:"kind"` // "insert" | "delete" | "replace"
+	Doc      string      `json:"doc"`
+	Parent   string      `json:"parent,omitempty"`
+	After    string      `json:"after,omitempty"`
+	Before   string      `json:"before,omitempty"`
+	Key      string      `json:"key,omitempty"`
+	Frag     *FragRecord `json:"frag,omitempty"`
+	NewValue string      `json:"new_value,omitempty"`
+}
+
+func encodeFrag(f *xmldoc.Frag) *FragRecord {
+	if f == nil {
+		return nil
+	}
+	r := &FragRecord{Name: f.Name, Value: f.Value}
+	switch f.Kind {
+	case xmldoc.Element:
+		r.Kind = "element"
+	case xmldoc.Attr:
+		r.Kind = "attr"
+	case xmldoc.Text:
+		r.Kind = "text"
+	case xmldoc.Document:
+		r.Kind = "document"
+	}
+	for _, a := range f.Attrs {
+		r.Attrs = append(r.Attrs, encodeFrag(a))
+	}
+	for _, c := range f.Children {
+		r.Children = append(r.Children, encodeFrag(c))
+	}
+	return r
+}
+
+func decodeFrag(r *FragRecord) (*xmldoc.Frag, error) {
+	if r == nil {
+		return nil, nil
+	}
+	f := &xmldoc.Frag{Name: r.Name, Value: r.Value}
+	switch r.Kind {
+	case "element":
+		f.Kind = xmldoc.Element
+	case "attr":
+		f.Kind = xmldoc.Attr
+	case "text":
+		f.Kind = xmldoc.Text
+	case "document":
+		f.Kind = xmldoc.Document
+	default:
+		return nil, fmt.Errorf("journal: unknown fragment kind %q", r.Kind)
+	}
+	for _, a := range r.Attrs {
+		af, err := decodeFrag(a)
+		if err != nil {
+			return nil, err
+		}
+		f.Attrs = append(f.Attrs, af)
+	}
+	for _, c := range r.Children {
+		cf, err := decodeFrag(c)
+		if err != nil {
+			return nil, err
+		}
+		f.Children = append(f.Children, cf)
+	}
+	return f, nil
+}
+
+// EncodePrim converts one primitive to its JSON record.
+func EncodePrim(p *update.Primitive) PrimRecord {
+	return PrimRecord{
+		Kind:     p.Kind.String(),
+		Doc:      p.Doc,
+		Parent:   string(p.Parent),
+		After:    string(p.After),
+		Before:   string(p.Before),
+		Key:      string(p.Key),
+		Frag:     encodeFrag(p.Frag),
+		NewValue: p.NewValue,
+	}
+}
+
+// EncodePrims converts a primitive batch to JSON records.
+func EncodePrims(prims []*update.Primitive) []PrimRecord {
+	out := make([]PrimRecord, len(prims))
+	for i, p := range prims {
+		out[i] = EncodePrim(p)
+	}
+	return out
+}
+
+// DecodePrim reconstructs one primitive from its record.
+func DecodePrim(r PrimRecord) (*update.Primitive, error) {
+	p := &update.Primitive{
+		Doc:      r.Doc,
+		Parent:   flexkey.Key(r.Parent),
+		After:    flexkey.Key(r.After),
+		Before:   flexkey.Key(r.Before),
+		Key:      flexkey.Key(r.Key),
+		NewValue: r.NewValue,
+	}
+	switch r.Kind {
+	case "insert":
+		p.Kind = update.Insert
+	case "delete":
+		p.Kind = update.Delete
+	case "replace":
+		p.Kind = update.Replace
+	default:
+		return nil, fmt.Errorf("journal: unknown primitive kind %q", r.Kind)
+	}
+	f, err := decodeFrag(r.Frag)
+	if err != nil {
+		return nil, err
+	}
+	p.Frag = f
+	return p, nil
+}
+
+// DecodePrims reconstructs a primitive batch from records.
+func DecodePrims(recs []PrimRecord) ([]*update.Primitive, error) {
+	out := make([]*update.Primitive, len(recs))
+	for i, r := range recs {
+		p, err := DecodePrim(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// streamRound is one line of a recorded stream.
+type streamRound struct {
+	Prims []PrimRecord `json:"prims"`
+}
+
+// StreamWriter appends maintenance rounds to a recorded primitive stream
+// (JSONL, one round per line).
+type StreamWriter struct {
+	w io.Writer
+}
+
+// NewStreamWriter wraps w as a stream recorder.
+func NewStreamWriter(w io.Writer) *StreamWriter { return &StreamWriter{w: w} }
+
+// WriteRound appends one round's primitives. Record before the round is
+// maintained (insert keys still unassigned) so replay re-runs the full
+// pipeline, including key assignment.
+func (sw *StreamWriter) WriteRound(prims []*update.Primitive) error {
+	data, err := json.Marshal(streamRound{Prims: EncodePrims(prims)})
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = sw.w.Write(data)
+	return err
+}
+
+// ReadStream parses a recorded stream back into per-round primitive
+// batches, in recording order.
+func ReadStream(r io.Reader) ([][]*update.Primitive, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rounds [][]*update.Primitive
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var sr streamRound
+		if err := json.Unmarshal(text, &sr); err != nil {
+			return nil, fmt.Errorf("journal: stream line %d: %w", line, err)
+		}
+		prims, err := DecodePrims(sr.Prims)
+		if err != nil {
+			return nil, fmt.Errorf("journal: stream line %d: %w", line, err)
+		}
+		rounds = append(rounds, prims)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rounds, nil
+}

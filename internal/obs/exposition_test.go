@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- trace buffer cap (PR 3 satellite) ---
+
+func TestTracerBufferCap(t *testing.T) {
+	tr := NewTracerLimit(8)
+	before := cTraceDropped.Value()
+	for i := 0; i < 20; i++ {
+		tr.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("buffered events = %d, want 8", got)
+	}
+	// 20 spans emit 40 events (metadata + X); 8 fit.
+	if got := tr.Dropped(); got != 32 {
+		t.Fatalf("Dropped = %d, want 32", got)
+	}
+	if d := cTraceDropped.Value() - before; d != 32 {
+		t.Fatalf("obs_trace_dropped_events moved by %d, want 32", d)
+	}
+	// The kept prefix still renders valid JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatal("truncated trace did not render")
+	}
+}
+
+func TestTracerDefaultLimit(t *testing.T) {
+	tr := NewTracer()
+	if tr.limit != DefaultTraceLimit {
+		t.Fatalf("default limit = %d, want %d", tr.limit, DefaultTraceLimit)
+	}
+	if NewTracerLimit(0).limit != 0 {
+		t.Fatal("explicit 0 (unbounded) not honored")
+	}
+}
+
+// --- Go runtime series (PR 3 satellite) ---
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	EnableRuntimeMetrics(r)
+	EnableRuntimeMetrics(r) // idempotent
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_total_nanoseconds", "go_gc_cycles"} {
+		if !strings.Contains(out, "\n"+name+" ") {
+			t.Fatalf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// The collect hook must refresh: goroutines and heap are live values.
+	snap := r.Snapshot()
+	if g, ok := snap["go_goroutines"].(int64); !ok || g < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", snap["go_goroutines"])
+	}
+	if h, ok := snap["go_heap_alloc_bytes"].(int64); !ok || h <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %v, want > 0", snap["go_heap_alloc_bytes"])
+	}
+}
+
+// --- Prometheus exposition correctness (PR 3 satellite) ---
+
+// parseExposition maps series lines ("name{labels} value") to their values,
+// skipping comments.
+func parseExposition(out string) map[string]string {
+	m := map[string]string{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		m[line[:i]] = line[i+1:]
+	}
+	return m
+}
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.CounterOf("test_ops_total", "ops", "op", "a").Add(3)
+	r.CounterOf("test_ops_total", "ops", "op", "b").Add(5)
+	r.GaugeOf("test_depth", "depth").Set(-2)
+	h := r.HistogramOf("test_latency_seconds", "latency")
+	for _, d := range []time.Duration{time.Microsecond, 5 * time.Microsecond,
+		3 * time.Millisecond, 40 * time.Millisecond, time.Second, 20 * time.Second} {
+		h.Observe(d)
+	}
+	return r
+}
+
+func TestHistogramInfBucketEqualsCount(t *testing.T) {
+	r := testRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := parseExposition(buf.String())
+	inf := series[`test_latency_seconds_bucket{le="+Inf"}`]
+	count := series["test_latency_seconds_count"]
+	if inf == "" || count == "" {
+		t.Fatalf("missing +Inf bucket or _count:\n%s", buf.String())
+	}
+	if inf != count {
+		t.Fatalf("+Inf cumulative %s != _count %s", inf, count)
+	}
+	if count != "6" {
+		t.Fatalf("_count = %s, want 6", count)
+	}
+	// Buckets must be cumulative: monotonically non-decreasing in bound order.
+	prev := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		v := series[`test_latency_seconds_bucket{le="`+formatBound(histBound(i))+`"}`]
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket %d unparsable %q: %v", i, v, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket %d count %d < previous %d (not cumulative)", i, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestExpositionDeterministicOrdering(t *testing.T) {
+	r := testRegistry()
+	var first bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n--- first\n%s\n--- again\n%s", i, first.String(), again.String())
+		}
+	}
+	// Registration order is preserved, so label-set series stay grouped
+	// under their family in insertion order.
+	out := first.String()
+	ia := strings.Index(out, `test_ops_total{op="a"}`)
+	ib := strings.Index(out, `test_ops_total{op="b"}`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("series order unstable (a@%d, b@%d):\n%s", ia, ib, out)
+	}
+}
+
+func TestSnapshotMatchesWritePrometheus(t *testing.T) {
+	r := testRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := parseExposition(buf.String())
+	snap := r.Snapshot()
+
+	for _, key := range []string{`test_ops_total{op="a"}`, `test_ops_total{op="b"}`, "test_depth"} {
+		want := series[key]
+		got, ok := snap[key]
+		if !ok {
+			t.Fatalf("snapshot missing %s", key)
+		}
+		if fmt.Sprintf("%d", got) != want {
+			t.Fatalf("%s: snapshot %v != exposition %s", key, got, want)
+		}
+	}
+	hist, ok := snap["test_latency_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot histogram shape: %T", snap["test_latency_seconds"])
+	}
+	if fmt.Sprintf("%d", hist["count"]) != series["test_latency_seconds_count"] {
+		t.Fatalf("histogram count: snapshot %v != exposition %s",
+			hist["count"], series["test_latency_seconds_count"])
+	}
+	wantSum := series["test_latency_seconds_sum"]
+	gotSum := strconv.FormatFloat(hist["sum_seconds"].(float64), 'g', -1, 64)
+	if gotSum != wantSum {
+		t.Fatalf("histogram sum: snapshot %s != exposition %s", gotSum, wantSum)
+	}
+	// Snapshot buckets are per-bucket (not cumulative); their total must
+	// equal the count.
+	total := int64(0)
+	for _, n := range hist["buckets"].(map[string]int64) {
+		total += n
+	}
+	if fmt.Sprintf("%d", total) != series["test_latency_seconds_count"] {
+		t.Fatalf("snapshot bucket total %d != count %s", total, series["test_latency_seconds_count"])
+	}
+}

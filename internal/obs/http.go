@@ -18,15 +18,27 @@ func publishExpvar(r *Registry) {
 	})
 }
 
+// Route is an extra endpoint mounted on the observability handler. It lets
+// higher layers (e.g. the provenance journal, which obs must not import)
+// expose themselves next to /metrics.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the serving-mode observability endpoint:
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/debug/vars    expvar JSON (runtime memstats + the registry snapshot)
 //	/debug/pprof/  the standard pprof index, profiles and traces
 //
-// Mount it on the address of your choice (cmd/xqview wires it to -http).
-func Handler(r *Registry) http.Handler {
+// plus any extra routes, which the index page lists. Go runtime series
+// (goroutines, heap, GC) are enabled on the registry so a scraped process
+// reports its health. Mount it on the address of your choice (cmd/xqview
+// wires it to -http).
+func Handler(r *Registry, routes ...Route) http.Handler {
 	publishExpvar(r)
+	EnableRuntimeMetrics(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -38,13 +50,18 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := "xqview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n"
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+		index += rt.Pattern + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("xqview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n"))
+		w.Write([]byte(index))
 	})
 	return mux
 }

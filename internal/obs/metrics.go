@@ -97,6 +97,11 @@ type Registry struct {
 	mu    sync.Mutex
 	fams  map[string]*family
 	order []string
+
+	// collect hooks refresh pull-time series (e.g. Go runtime gauges)
+	// before every render; runtimeOnce guards their one-time registration.
+	collect     []func()
+	runtimeOnce sync.Once
 }
 
 // Default is the process-wide registry every engine instrumentation site
@@ -186,6 +191,26 @@ func (r *Registry) Reset() {
 	}
 }
 
+// OnCollect registers a hook run before every WritePrometheus/Snapshot
+// render. Hooks must only touch series through the atomic Counter/Gauge/
+// Histogram pointers they captured at registration (never re-register).
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.collect = append(r.collect, fn)
+	r.mu.Unlock()
+}
+
+// runCollect fires the collect hooks outside the registry lock (hook writes
+// are atomics, so renders never observe torn values).
+func (r *Registry) runCollect() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collect...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 func seriesName(name, lk, suffix string) string {
 	if lk == "" {
 		if suffix == "" {
@@ -211,6 +236,7 @@ func formatBound(b float64) string {
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollect()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, name := range r.order {
@@ -246,6 +272,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // of the metrics: counters and gauges map to numbers, histograms to
 // {count, sum_seconds, buckets}.
 func (r *Registry) Snapshot() map[string]any {
+	r.runCollect()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := map[string]any{}

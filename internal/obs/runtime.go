@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// EnableRuntimeMetrics registers Go runtime series on the registry:
+// goroutine count, allocated heap bytes, cumulative GC pause time and GC
+// cycle count. The gauges refresh through a collect hook at every
+// WritePrometheus/Snapshot render, so a deployed process scraped via
+// /metrics reports its health with no background sampler. Idempotent per
+// registry; Handler calls it automatically.
+func EnableRuntimeMetrics(r *Registry) {
+	r.runtimeOnce.Do(func() {
+		gGoroutines := r.GaugeOf("go_goroutines", "number of live goroutines")
+		gHeap := r.GaugeOf("go_heap_alloc_bytes", "bytes of allocated heap objects")
+		gGCPause := r.GaugeOf("go_gc_pause_total_nanoseconds", "cumulative GC stop-the-world pause time")
+		gGCCycles := r.GaugeOf("go_gc_cycles", "completed GC cycles")
+		r.OnCollect(func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			gGoroutines.Set(int64(runtime.NumGoroutine()))
+			gHeap.Set(int64(ms.HeapAlloc))
+			gGCPause.Set(int64(ms.PauseTotalNs))
+			gGCCycles.Set(int64(ms.NumGC))
+		})
+	})
+}

@@ -43,6 +43,16 @@ type Event struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// DefaultTraceLimit caps the event buffer of tracers made by NewTracer.
+// A long-running -serve process traces every maintenance batch; without a
+// cap the buffer grows forever. Beyond the cap new events are dropped (the
+// earliest events keep the trace's context) and counted.
+const DefaultTraceLimit = 1 << 16
+
+// cTraceDropped counts events dropped across all tracers once their buffer
+// limit is reached.
+var cTraceDropped = Default.CounterOf("obs_trace_dropped_events", "trace events dropped at the tracer's buffer limit")
+
 // Tracer collects spans for one process. It is safe for concurrent use:
 // spans started on different tracks (goroutines) append under one mutex
 // only when they end, never while running. The zero value is not usable;
@@ -51,13 +61,43 @@ type Event struct {
 type Tracer struct {
 	start   time.Time
 	nextTID atomic.Int64
+	limit   int // max buffered events; <= 0 means unbounded
 	mu      sync.Mutex
 	events  []Event
+	dropped atomic.Int64
 }
 
-// NewTracer starts a tracer; timestamps are measured from this call using
-// the monotonic clock.
-func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+// NewTracer starts a tracer with the default buffer limit; timestamps are
+// measured from this call using the monotonic clock.
+func NewTracer() *Tracer { return NewTracerLimit(DefaultTraceLimit) }
+
+// NewTracerLimit starts a tracer that buffers at most limit events; limit
+// <= 0 means unbounded (use only for short-lived runs).
+func NewTracerLimit(limit int) *Tracer {
+	return &Tracer{start: time.Now(), limit: limit}
+}
+
+// Dropped reports how many events this tracer discarded at its limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// append records an event, dropping it if the buffer is at its limit.
+// Callers must not hold t.mu.
+func (t *Tracer) append(ev Event) {
+	t.mu.Lock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		cTraceDropped.Inc()
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
 
 // Span is one timed region on a track. The zero Span is disabled. Spans
 // nest by time within a track: children started via Child carry the parent
@@ -78,10 +118,8 @@ func (t *Tracer) StartSpan(name string) Span {
 		return Span{}
 	}
 	tid := t.nextTID.Add(1)
-	t.mu.Lock()
-	t.events = append(t.events, Event{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+	t.append(Event{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
 		Args: map[string]any{"name": name}})
-	t.mu.Unlock()
 	return Span{tr: t, name: name, tid: tid, t0: time.Since(t.start), args: map[string]any{}}
 }
 
@@ -116,13 +154,10 @@ func (s Span) End() {
 	if len(args) == 0 {
 		args = nil
 	}
-	ev := Event{Name: s.name, Ph: "X", PID: 1, TID: s.tid,
+	s.tr.append(Event{Name: s.name, Ph: "X", PID: 1, TID: s.tid,
 		TS:   float64(s.t0.Nanoseconds()) / 1e3,
 		Dur:  float64((end - s.t0).Nanoseconds()) / 1e3,
-		Args: args}
-	s.tr.mu.Lock()
-	s.tr.events = append(s.tr.events, ev)
-	s.tr.mu.Unlock()
+		Args: args})
 }
 
 // Len reports how many events have been recorded.

@@ -7,8 +7,10 @@ package validate
 
 import (
 	"fmt"
+	"strings"
 
 	"xqview/internal/flexkey"
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/sapt"
 	"xqview/internal/update"
@@ -54,6 +56,20 @@ func (b *Batch) Prims() []*update.Primitive {
 
 // Validate runs the validate phase over the raw primitives.
 func Validate(s *xmldoc.Store, t *sapt.Tree, prims []*update.Primitive) (*Batch, error) {
+	return ValidateRec(s, t, prims, nil)
+}
+
+// verdictPath renders the primitive's affected name path for the journal.
+// Only called when recording is active, so the disabled path never walks
+// ancestor chains.
+func verdictPath(s *xmldoc.Store, p *update.Primitive) string {
+	return strings.Join(update.TargetPath(s, p), "/")
+}
+
+// ValidateRec is Validate with an optional provenance recorder: each
+// primitive's classification (accept / prune / rewrite / reject) lands in
+// the journal round as a Verdict. A nil recorder records nothing.
+func ValidateRec(s *xmldoc.Store, t *sapt.Tree, prims []*update.Primitive, rec *journal.RoundRec) (*Batch, error) {
 	b := &Batch{
 		ByDoc:   map[string][]*update.Primitive{},
 		Trees:   map[string]*update.Tree{},
@@ -72,21 +88,36 @@ func Validate(s *xmldoc.Store, t *sapt.Tree, prims []*update.Primitive) (*Batch,
 	var order []flexkey.Key
 	var direct []*update.Primitive
 
-	for _, p := range prims {
+	for i, p := range prims {
 		update.NormalizePosition(s, p)
 		if err := checkSufficiency(s, p); err != nil {
+			if rec.Active() {
+				rec.Verdict(i, "reject", verdictPath(s, p), err.Error())
+			}
 			return nil, err
 		}
 		switch t.Classify(s, p) {
 		case sapt.Irrelevant:
 			b.Stats.Irrelevant++
+			if rec.Active() {
+				rec.Verdict(i, "prune", verdictPath(s, p), "")
+			}
 		case sapt.Pass:
 			direct = append(direct, p)
 			b.Stats.Passed++
+			if rec.Active() {
+				rec.Verdict(i, "accept", verdictPath(s, p), "")
+			}
 		case sapt.Rewrite:
 			a, err := anchorFor(s, t, p)
 			if err != nil {
+				if rec.Active() {
+					rec.Verdict(i, "reject", verdictPath(s, p), err.Error())
+				}
 				return nil, err
+			}
+			if rec.Active() {
+				rec.Verdict(i, "rewrite", verdictPath(s, p), "anchor="+string(a))
 			}
 			g, ok := groups[a]
 			if !ok {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xqview/internal/flexkey"
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/xmldoc"
 )
@@ -52,6 +53,15 @@ func PropagateDelta(p *Plan, in *DeltaInput) (*DeltaResult, error) {
 // tracing with no measurable cost; metric counters are gated separately on
 // obs.Enabled().
 func PropagateDeltaTraced(p *Plan, in *DeltaInput, parent obs.Span) (*DeltaResult, error) {
+	return PropagateDeltaObserved(p, in, parent, nil)
+}
+
+// PropagateDeltaObserved is PropagateDeltaTraced with an optional
+// provenance recorder: every operator's delta evaluation lands in the
+// journal as an OpRecord (input FlexKeys consumed, output delta tuples
+// produced, each linked to its originating update region). A nil recorder
+// records nothing.
+func PropagateDeltaObserved(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec) (*DeltaResult, error) {
 	e := &deltaEngine{
 		plan:     p,
 		in:       in,
@@ -59,6 +69,10 @@ func PropagateDeltaTraced(p *Plan, in *DeltaInput, parent obs.Span) (*DeltaResul
 		baseEnv:  NewEnv(in.Base),
 		baseMemo: map[*Op]*Table{},
 		span:     parent,
+		rec:      rec,
+	}
+	if rec.Active() {
+		e.recOut = map[int][]string{}
 	}
 	// Base and delta runs share the skeleton registry so delta tuples that
 	// carry base-constructed items can be dereferenced.
@@ -92,7 +106,9 @@ type deltaEngine struct {
 	env      *Env // over the post-update reader
 	baseEnv  *Env // over the pre-update store
 	baseMemo map[*Op]*Table
-	span     obs.Span // parent span for per-operator tracing (zero = off)
+	span     obs.Span         // parent span for per-operator tracing (zero = off)
+	rec      *journal.ViewRec // provenance recorder (nil = off)
+	recOut   map[int][]string // op ID -> distinct output lineage keys recorded
 }
 
 // base executes the sub-plan rooted at o over the pre-update store.
@@ -171,10 +187,63 @@ func (e *deltaEngine) delta(o *Op) (*Table, error) {
 	if err == nil && obs.Enabled() {
 		recordDelta(o, t)
 	}
+	if err == nil && e.rec.Active() {
+		e.recordOp(o, t)
+	}
 	if DeltaTrace && err == nil {
 		fmt.Printf("== delta op #%d %s ==\n%s\n", o.ID, o.Kind, t.String())
 	}
 	return t, err
+}
+
+func tupleKindName(k TupleKind) string {
+	switch k {
+	case Delta:
+		return "delta"
+	case Patch:
+		return "patch"
+	}
+	return "normal"
+}
+
+// recordOp journals one operator's delta lineage: the distinct lineage keys
+// its inputs produced (recorded bottom-up, so children are already in
+// recOut) and a bounded prefix of its output tuples, each carrying its
+// cells' lineage keys and the update-region anchor it originates from.
+func (e *deltaEngine) recordOp(o *Op, t *Table) {
+	rec := journal.OpRecord{Op: o.ID, Kind: o.Kind.String(), Detail: o.Describe(), Tuples: len(t.Tuples)}
+	for _, in := range o.Inputs {
+		rec.In = append(rec.In, e.recOut[in.ID]...)
+	}
+	var outKeys []string
+	seen := map[string]bool{}
+	for ti, tp := range t.Tuples {
+		var tr journal.TupleRecord
+		record := ti < journal.MaxOpTuples
+		if record {
+			tr = journal.TupleRecord{Count: tp.Count, Kind: tupleKindName(tp.Kind)}
+			if tp.Region != nil {
+				tr.Prim = string(tp.Region.Anchor)
+			}
+		}
+		for _, cell := range tp.Cells {
+			for _, it := range cell {
+				k := it.Lineage()
+				if record && len(tr.Keys) < journal.MaxTupleKeys {
+					tr.Keys = append(tr.Keys, k)
+				}
+				if !seen[k] && len(outKeys) < journal.MaxOpInKeys {
+					seen[k] = true
+					outKeys = append(outKeys, k)
+				}
+			}
+		}
+		if record {
+			rec.Out = append(rec.Out, tr)
+		}
+	}
+	e.recOut[o.ID] = outKeys
+	e.rec.Op(rec)
 }
 
 func (e *deltaEngine) delta1(o *Op) (*Table, error) {

@@ -1,0 +1,17 @@
+package xat
+
+import (
+	"testing"
+
+	"xqview/internal/journal"
+)
+
+// The journal cannot import xat (xat records into it), so it declares its
+// own copy of the lineage separator used inside constructed-node bodies.
+// The two constants must stay identical or explain's component matching
+// silently breaks.
+func TestJournalLineageSepMatchesBodySep(t *testing.T) {
+	if journal.LineageSep != bodySep {
+		t.Fatalf("journal.LineageSep %q != xat bodySep %q", journal.LineageSep, bodySep)
+	}
+}

@@ -612,6 +612,58 @@ func hasCol(cols []string, c string) bool {
 	return false
 }
 
+func (op CmpOperand) describe() string {
+	if op.IsLit {
+		return `"` + op.Lit + `"`
+	}
+	return op.Col
+}
+
+func condString(conds []Cmp) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.L.describe() + c.Op + c.R.describe()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Describe renders the operator's defining parameter for provenance output
+// ("σ price>10", "bib/book", "<item>"), in roughly the dissertation's
+// notation. The operator kind is not repeated; callers prefix it.
+func (o *Op) Describe() string {
+	switch o.Kind {
+	case OpSource:
+		return `doc("` + o.Doc + `")`
+	case OpNavUnnest, OpNavCollection:
+		if o.Path != nil {
+			return o.Path.String()
+		}
+	case OpSelect:
+		return "σ " + condString(o.Conds)
+	case OpJoin, OpLOJ:
+		return "⋈ " + condString(o.Conds)
+	case OpDistinct, OpCombine, OpExpose:
+		return o.InCol
+	case OpGroupBy:
+		s := "by " + strings.Join(o.GroupCols, ",")
+		if o.Agg != "" {
+			s += " " + o.Agg + "(" + o.InCol + ")"
+		}
+		return s
+	case OpOrderBy:
+		return strings.Join(o.OrderCols, ",")
+	case OpTagger:
+		if o.Pattern != nil {
+			return "<" + o.Pattern.Name + ">"
+		}
+	case OpXMLUnion, OpXMLDifference, OpXMLIntersection:
+		return strings.Join(o.UnionCols, "∪")
+	case OpName:
+		return o.InCol + "→" + o.OutCol
+	}
+	return ""
+}
+
 // Dump renders the plan tree for debugging and golden tests.
 func (p *Plan) Dump() string {
 	var b strings.Builder

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_diff.sh — compare two BENCH_PR*.json files produced by the
+# scripts/bench_pr*.sh capture scripts and flag ns/op regressions.
+# Benchmarks are matched by name; only names present in both files are
+# compared. Exits 1 if any shared benchmark regressed by more than the
+# threshold (default 15%).
+#
+# Usage: scripts/bench_diff.sh old.json new.json [threshold_pct]
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 old.json new.json [threshold_pct]" >&2
+	exit 2
+fi
+old="$1"
+new="$2"
+threshold="${3:-15}"
+
+# The capture scripts emit one result object per line, so a line-oriented
+# awk extraction of (name, ns_per_op) is exact for these files.
+extract() {
+	awk '
+		/"name":/ {
+			name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+			ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+			print name, ns
+		}
+	' "$1"
+}
+
+extract "$old" >"${TMPDIR:-/tmp}/bench_diff_old.$$"
+extract "$new" >"${TMPDIR:-/tmp}/bench_diff_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$"' EXIT
+
+awk -v threshold="$threshold" -v oldfile="$old" -v newfile="$new" '
+	NR == FNR { old[$1] = $2; next }
+	{
+		if (!($1 in old)) next
+		shared++
+		delta = 100 * ($2 - old[$1]) / old[$1]
+		printf "%-60s %14.0f %14.0f %+8.1f%%\n", $1, old[$1], $2, delta
+		if (delta > threshold) {
+			regressed++
+			printf "REGRESSION: %s ns/op up %.1f%% (threshold %s%%)\n", $1, delta, threshold
+		}
+	}
+	END {
+		if (!shared) {
+			printf "no shared benchmarks between %s and %s\n", oldfile, newfile
+			exit 2
+		}
+		if (regressed) exit 1
+	}
+' "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$"

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench_pr3.sh — capture the PR 3 journal-overhead benchmark into
+# BENCH_PR3.json: the same maintenance batch with the provenance journal
+# off and on (BenchmarkMaintainJournaled), plus the PR 2 observability
+# benchmark re-run for trajectory comparison against BENCH_PR2.json. The
+# journal=off arm must stay allocation-identical to obs=off: the disabled
+# journal is one atomic load plus nil-recorder no-ops.
+#
+# Usage: scripts/bench_pr3.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainJournaled|BenchmarkMaintainObserved' \
+	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 3,\n'
+	printf '  "benchmark": "BenchmarkMaintainJournaled+BenchmarkMaintainObserved",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		/^Benchmark(MaintainJournaled|MaintainObserved)\// {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, $3, $5, $7)
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR3.json
+
+echo "wrote BENCH_PR3.json" >&2

@@ -22,11 +22,13 @@ package xqview
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
 
 	"xqview/internal/core"
+	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/update"
 	"xqview/internal/xmldoc"
@@ -41,6 +43,7 @@ type Database struct {
 	views []*View
 	opts  core.Options
 	log   *obs.Logger
+	rec   *journal.StreamWriter
 }
 
 // NewDatabase creates an empty database.
@@ -76,6 +79,41 @@ func (db *Database) SetLogger(l *obs.Logger) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.log = l
+}
+
+// SetUpdateRecorder streams every subsequent update batch to w, one JSON
+// line per batch, in the order the batches are applied. The stream captures
+// the update primitives BEFORE maintenance assigns node keys, so feeding it
+// back through ReplayUpdates against the same initial documents reproduces
+// the exact same maintenance rounds (view extents, journal records and
+// all). A nil w stops recording.
+func (db *Database) SetUpdateRecorder(w io.Writer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if w == nil {
+		db.rec = nil
+		return
+	}
+	db.rec = journal.NewStreamWriter(w)
+}
+
+// ReplayUpdates reads a primitive stream previously written by an update
+// recorder and re-applies each recorded batch in order, maintaining every
+// registered view. It returns how many batches were applied. Replayed
+// batches are not re-recorded.
+func (db *Database) ReplayUpdates(r io.Reader) (int, error) {
+	rounds, err := journal.ReadStream(r)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i, prims := range rounds {
+		if _, err := db.applyPrims(prims); err != nil {
+			return i, fmt.Errorf("xqview: replaying batch %d: %w", i+1, err)
+		}
+	}
+	return len(rounds), nil
 }
 
 // LoadDocument parses src as XML and registers it under the given name,
@@ -252,6 +290,19 @@ func (db *Database) ApplyUpdates(script string) ([]*MaintenanceReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.rec != nil {
+		// Record before maintenance: keys are assigned during validation,
+		// so the stream stays replayable against the pre-update documents.
+		if err := db.rec.WriteRound(prims); err != nil {
+			return nil, fmt.Errorf("xqview: recording update batch: %w", err)
+		}
+	}
+	return db.applyPrims(prims)
+}
+
+// applyPrims maintains every registered view under one batch of update
+// primitives. Callers hold db.mu.
+func (db *Database) applyPrims(prims []*update.Primitive) ([]*MaintenanceReport, error) {
 	views := make([]*core.View, len(db.views))
 	for i, v := range db.views {
 		views[i] = v.view
