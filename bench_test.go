@@ -273,6 +273,78 @@ func BenchmarkMaintainJournaled(b *testing.B) {
 	}
 }
 
+// BenchmarkMaintainCached is the PR 4 state-cache benchmark: the same
+// small-delta maintenance round over a large source document with the
+// cross-round base-table cache off and on. The off arm re-derives every
+// base operator table per round; the on arm serves them from the previous
+// round and folds the round's own deltas forward, so the gap widens with
+// source size. The cache=skip arm adds a second view over an unrelated
+// document and batches touching only that document: with the relevance
+// filter on, the join view's rounds are pruned entirely
+// (views_skipped/op reports how many views each round skipped).
+// scripts/bench_pr4.sh captures all arms into BENCH_PR4.json.
+func BenchmarkMaintainCached(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"cache=off", core.Options{Parallelism: 1}},
+		{"cache=on", core.Options{Parallelism: 1, CacheBaseTables: true}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			s := benchBibStore(b, 1000)
+			v, err := core.NewView(s, bench.BibQ2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			views := []*core.View{v}
+			bib, _ := s.RootElem("bib.xml")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+					Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1993"),
+						xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("sc-%d", i))))}}
+				if _, err := core.MaintainAll(s, views, prims, arm.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("cache=skip", func(b *testing.B) {
+		s := benchBibStore(b, 1000)
+		if _, err := s.Load("other.xml", "<other><item><name>seed</name></item></other>"); err != nil {
+			b.Fatal(err)
+		}
+		joinView, err := core.NewView(s, bench.BibQ2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		otherView, err := core.NewView(s,
+			`<result>{ for $i in doc("other.xml")/other/item return <o>{$i/name}</o> }</result>`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		views := []*core.View{joinView, otherView}
+		other, _ := s.RootElem("other.xml")
+		opts := core.Options{Parallelism: 1, CacheBaseTables: true, SkipDisjointViews: true}
+		skips := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Every batch touches only other.xml: the join view must skip.
+			prims := []*update.Primitive{{Kind: update.Insert, Doc: "other.xml", Parent: other,
+				Frag: xmldoc.Elem("item", xmldoc.Elem("name", xmldoc.TextF(fmt.Sprintf("sk-%d", i))))}}
+			stats, err := core.MaintainAll(s, views, prims, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ms := range stats {
+				skips += ms.Skipped
+			}
+		}
+		b.ReportMetric(float64(skips)/float64(b.N), "views_skipped/op")
+	})
+}
+
 func BenchmarkRecomputeBaseline(b *testing.B) {
 	s := benchBibStore(b, 500)
 	bib, _ := s.RootElem("bib.xml")

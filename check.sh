@@ -25,4 +25,12 @@ go test "$@" ./...
 echo "== go test -race ./..." >&2
 go test -race "$@" ./...
 
+# Cross-PR benchmark regression gate: when both the PR 3 and PR 4 captures
+# exist (scripts/bench_pr3.sh / bench_pr4.sh), the shared benchmark names
+# must not have regressed by more than 15% ns/op.
+if [ -f BENCH_PR3.json ] && [ -f BENCH_PR4.json ]; then
+	echo "== bench_diff BENCH_PR3.json BENCH_PR4.json (15% gate)" >&2
+	scripts/bench_diff.sh BENCH_PR3.json BENCH_PR4.json 15 >&2
+fi
+
 echo "check.sh: all green" >&2

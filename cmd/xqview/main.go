@@ -6,12 +6,17 @@
 //	xqview -doc name=file.xml [-doc name2=file2.xml ...] -query query.xq \
 //	       [-updates updates.xqu | -replay stream.jsonl] [-record stream.jsonl] \
 //	       [-journal] [-explain view=flexkey] [-plan] [-sapt] [-report] \
-//	       [-pretty] [-parallel N] [-trace out.json] [-http :6060] [-serve] \
-//	       [-logjson] [-v]
+//	       [-pretty] [-parallel N] [-cache] [-trace out.json] [-http :6060] \
+//	       [-serve] [-logjson] [-v]
 //
 // The view is materialized and printed. With -updates, the update script is
 // applied through the VPA pipeline and the refreshed view is printed; with
-// -report, the maintenance breakdown is printed to stderr.
+// -report, the maintenance breakdown is printed to stderr. -cache turns on
+// the cross-round propagation state cache and the view-relevance filter:
+// base operator tables survive between update batches (invalidated only
+// when a batch's regions touch their source documents) and views provably
+// untouched by a batch skip their Propagate+Apply phases. Results are
+// identical either way; only maintenance cost changes.
 //
 // Observability: -trace records every VPA phase and XAT operator as spans
 // and writes Chrome trace-event JSON (open in chrome://tracing or Perfetto
@@ -91,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	report := fs.Bool("report", false, "print the maintenance report to stderr")
 	pretty := fs.Bool("pretty", false, "indent the printed view")
 	parallel := fs.Int("parallel", 0, "max views maintained concurrently per batch (0 = GOMAXPROCS, 1 = sequential)")
+	cacheOn := fs.Bool("cache", false, "cache base operator tables across update batches and skip views untouched by a batch")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON of the maintenance run to this file")
 	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	serve := fs.Bool("serve", false, "with -http: keep serving after the run instead of exiting")
@@ -129,6 +135,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	db := xqview.NewDatabase()
 	db.SetParallelism(*parallel)
+	if *cacheOn {
+		db.SetCacheBaseTables(true)
+		db.SetSkipDisjointViews(true)
+	}
 	db.SetLogger(log)
 
 	var tracer *obs.Tracer

@@ -22,6 +22,21 @@ type Options struct {
 	// operator during propagation, renderable as Chrome trace-event JSON
 	// (xqview -trace). A nil Tracer costs nothing.
 	Tracer *obs.Tracer
+
+	// CacheBaseTables carries each view's base operator tables across
+	// maintenance rounds (the propagation state cache): base sub-plan
+	// derivations the join/aggregate equations need are served from the
+	// prior round's tables, folded forward by the round's own deltas, with
+	// region-driven invalidation. Off by default; cache-on is byte-identical
+	// to cache-off (enforced by the differential tests).
+	CacheBaseTables bool
+
+	// SkipDisjointViews makes MaintainAll skip the Propagate+Apply phases
+	// for views whose SAPT classifies every primitive of the batch as
+	// irrelevant (the batch's update regions cannot touch the view). Skipped
+	// views report MaintStats.Skipped=1 and journal a skip verdict so
+	// explain output stays truthful. Off by default.
+	SkipDisjointViews bool
 }
 
 // getOpts resolves the variadic options accepted by the maintenance entry

@@ -35,6 +35,35 @@ type View struct {
 	// ExecStats accumulates engine statistics across materialization and
 	// maintenance runs.
 	ExecStats xat.Stats
+
+	// cache is the cross-round propagation state cache (Options.
+	// CacheBaseTables). Lazily created; only the worker maintaining this
+	// view touches it during a round.
+	cache *xat.StateCache
+}
+
+// stateCache returns the view's propagation state cache, creating it on
+// first use.
+func (v *View) stateCache() *xat.StateCache {
+	if v.cache == nil {
+		v.cache = xat.NewStateCache()
+	}
+	return v.cache
+}
+
+// InvalidateCache drops every base table the view's propagation state cache
+// holds. Call it after any out-of-band mutation of the source store (the
+// cache only tracks mutations flowing through MaintainAll).
+func (v *View) InvalidateCache() {
+	if v.cache != nil {
+		v.cache.Invalidate()
+	}
+}
+
+// CacheStats reports the propagation state cache's counters (zero when the
+// cache was never used).
+func (v *View) CacheStats() xat.CacheStats {
+	return v.cache.Stats()
 }
 
 // displayName labels the view for traces and errors: its Name if set, else
@@ -57,6 +86,11 @@ type MaintStats struct {
 	Validation validate.Stats
 	Union      deepunion.Stats
 	DeltaRoots int
+
+	// Skipped is 1 when the view's Propagate+Apply phases were skipped
+	// because the batch's regions cannot touch it (Options.
+	// SkipDisjointViews); summing over rounds counts skips.
+	Skipped int
 }
 
 // Add accumulates o into s: durations and counters sum field by field, and
@@ -81,8 +115,11 @@ func NewView(store *xmldoc.Store, query string) (*View, error) {
 	return v, nil
 }
 
-// Materialize (re)computes the extent from scratch.
+// Materialize (re)computes the extent from scratch. Any cached propagation
+// state is dropped: a from-scratch run implies the prior incremental state
+// is no longer trusted.
 func (v *View) Materialize() error {
+	v.InvalidateCache()
 	env := xat.NewEnv(v.Store)
 	tbl, err := xat.Execute(v.Plan, env)
 	if err != nil {
@@ -159,8 +196,35 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		jrec = journal.Default.Begin(names, len(prims))
 	}
 	out, err := maintainAll(store, views, prims, opt, jrec)
+	if err != nil {
+		// A failed round leaves the pipeline in a partial state (some views
+		// may have committed cache folds before the error, and the source
+		// refresh may not have run): no cached table can be trusted to match
+		// the store any more.
+		for _, v := range views {
+			v.InvalidateCache()
+		}
+	}
 	jrec.Commit(err)
 	return out, err
+}
+
+// cViewsSkipped counts views whose Propagate+Apply was pruned by the
+// relevance filter (Options.SkipDisjointViews).
+var cViewsSkipped = obs.Default.CounterOf("xqview_views_skipped_total", "views skipped by the region-relevance filter")
+
+// viewDisjoint reports whether every primitive of the validated batch is
+// irrelevant to the view: its SAPT proves the update regions cannot affect
+// the view's extent (query-update independence), so Propagate+Apply can be
+// skipped outright. Classify only reads the store and the view's own SAPT,
+// both frozen during the propagate phase, so workers call this concurrently.
+func viewDisjoint(store *xmldoc.Store, v *View, batch *validate.Batch) bool {
+	for _, p := range batch.Prims() {
+		if v.SAPT.Classify(store, p) != sapt.Irrelevant {
+			return false
+		}
+	}
+	return true
 }
 
 func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opt Options, jrec *journal.RoundRec) ([]*MaintStats, error) {
@@ -213,9 +277,26 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		// Each worker records into its own view's lineage slot; slots are
 		// pre-allocated at Begin, so no cross-worker synchronization.
 		vrec := jrec.View(i)
+		// Relevance filter: when every primitive of the batch is irrelevant
+		// to this view, its extent provably cannot change — skip the
+		// Propagate+Apply phases, leaving a truthful skip verdict behind.
+		if opt.SkipDisjointViews && viewDisjoint(store, v, batch) {
+			ms.Skipped = 1
+			vtrack.Arg("skipped", "no region overlap")
+			vrec.Skip("no region overlap")
+			if obs.Enabled() {
+				cViewsSkipped.Inc()
+			}
+			out[i] = ms
+			return nil
+		}
+		var cache *xat.StateCache
+		if opt.CacheBaseTables {
+			cache = v.stateCache()
+		}
 		pspan := vtrack.Child("Propagate")
 		t0 := time.Now()
-		res, err := xat.PropagateDeltaObserved(v.Plan, din, pspan, vrec)
+		res, err := xat.PropagateDeltaCached(v.Plan, din, pspan, vrec, cache)
 		if err != nil {
 			pspan.End()
 			return fmt.Errorf("propagate view %q: %w", v.displayName(i), err)
@@ -235,6 +316,9 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		ms.Apply = time.Since(t0)
 		aspan.Arg("merged", ms.Union.Merged).Arg("inserted", ms.Union.Inserted).
 			Arg("removed", ms.Union.Removed).End()
+		// The round reached the view's extent: fold the staged state forward
+		// so the cache matches the post-refresh store the next round sees.
+		cache.Commit(din.Regions)
 		out[i] = ms
 		return nil
 	})

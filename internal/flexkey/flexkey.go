@@ -83,18 +83,44 @@ func Append(k Key, seg string) Key {
 	return k + Key(Sep) + Key(seg)
 }
 
+// sepByte is Sep as a byte, for scan loops that avoid substring searches.
+var sepByte = Sep[0]
+
+// IsComposed reports whether k is a composed key (contains ComposeSep).
+// Zero allocations; a single scan.
+func IsComposed(k Key) bool {
+	for i := 1; i < len(k); i++ {
+		if k[i] == sepByte && k[i-1] == sepByte {
+			return true
+		}
+	}
+	return false
+}
+
 // Parent returns the key with its last level removed, and false if k has no
 // parent (single-segment or empty key). Parent of a composed key is not
 // defined and returns false.
+//
+// Hot path: one backward scan detects both the last separator and the
+// composed-key delimiter, instead of a strings.Contains pass followed by a
+// strings.LastIndex pass.
 func Parent(k Key) (Key, bool) {
-	if strings.Contains(string(k), ComposeSep) {
+	last := -1
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] != sepByte {
+			continue
+		}
+		if i > 0 && k[i-1] == sepByte {
+			return "", false // composed key: Parent is undefined
+		}
+		if last < 0 {
+			last = i
+		}
+	}
+	if last < 0 {
 		return "", false
 	}
-	i := strings.LastIndex(string(k), Sep)
-	if i < 0 {
-		return "", false
-	}
-	return k[:i], true
+	return k[:last], true
 }
 
 // LastSegment returns the final level segment of k.
@@ -107,15 +133,32 @@ func LastSegment(k Key) string {
 }
 
 // Compose returns the composition of keys (k1..k2..k3...).
+//
+// Hot path: composed keys are built for every overriding-order assignment,
+// so the join builder is grown to the exact result size up front — one
+// allocation, no intermediate []string.
 func Compose(keys ...Key) Key {
 	if obs.Enabled() {
 		cKeysComposed.Inc()
 	}
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		parts[i] = string(k)
+	switch len(keys) {
+	case 0:
+		return ""
+	case 1:
+		return keys[0]
 	}
-	return Key(strings.Join(parts, ComposeSep))
+	n := (len(keys) - 1) * len(ComposeSep)
+	for _, k := range keys {
+		n += len(k)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(string(keys[0]))
+	for _, k := range keys[1:] {
+		b.WriteString(ComposeSep)
+		b.WriteString(string(k))
+	}
+	return Key(b.String())
 }
 
 // Compare compares two keys lexicographically, reporting -1, 0 or +1.

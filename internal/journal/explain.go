@@ -97,6 +97,11 @@ func describePrim(p PrimRecord) string {
 // the delta flowed through, and the fusion(s) that folded it into the view.
 func (j *Journal) Explain(view, key string) (string, error) {
 	rounds := j.Rounds()
+	// Rounds in which the view was skipped by the relevance filter, noted
+	// while scanning: a key with no lineage but with skip records gets a
+	// truthful "the view was pruned" answer instead of a not-found error.
+	var skipped []uint64
+	skipReason := ""
 	for i := len(rounds) - 1; i >= 0; i-- {
 		r := rounds[i]
 		for vi := range r.PerView {
@@ -104,10 +109,27 @@ func (j *Journal) Explain(view, key string) (string, error) {
 			if vl.View != view {
 				continue
 			}
+			if vl.Skipped != "" {
+				skipped = append(skipped, r.ID)
+				skipReason = vl.Skipped
+				continue
+			}
 			if text, ok := explainInView(r, vl, key); ok {
 				return text, nil
 			}
 		}
+	}
+	if len(skipped) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s node %s — no journaled lineage; view skipped (%s) in round", view, key, skipReason)
+		if len(skipped) > 1 {
+			b.WriteByte('s')
+		}
+		for i := len(skipped) - 1; i >= 0; i-- { // oldest first
+			fmt.Fprintf(&b, " %d", skipped[i])
+		}
+		b.WriteString(": the round's update regions cannot affect this view, so its extent is unchanged.\n")
+		return b.String(), nil
 	}
 	if len(rounds) == 0 {
 		return "", fmt.Errorf("journal: no rounds recorded (is journaling enabled?)")

@@ -116,6 +116,10 @@ type ViewLineage struct {
 	View    string     `json:"view"`
 	Ops     []OpRecord `json:"ops,omitempty"`
 	Fusions []Fusion   `json:"fusions,omitempty"`
+	// Skipped is the reason the view's Propagate+Apply phases were pruned
+	// ("" when the view was maintained). A skipped view records no Ops or
+	// Fusions; Explain renders the skip instead of an empty lineage.
+	Skipped string `json:"skipped,omitempty"`
 }
 
 // Round is the journal of one maintenance batch.
@@ -361,6 +365,15 @@ func (v *ViewRec) Op(rec OpRecord) {
 		}
 	}
 	v.vl.Ops = append(v.vl.Ops, rec)
+}
+
+// Skip records that the view's Propagate+Apply phases were pruned (the
+// relevance filter proved the round cannot affect the view).
+func (v *ViewRec) Skip(reason string) {
+	if v == nil {
+		return
+	}
+	v.vl.Skipped = reason
 }
 
 // Fusion records one apply-phase Deep-Union fusion.

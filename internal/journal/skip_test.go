@@ -1,0 +1,67 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// A view pruned by the relevance filter journals a skip reason instead of
+// lineage, and Explain renders that as a clean answer — not as the
+// "no lineage" error an empty ViewLineage would otherwise produce.
+func TestExplainSkippedView(t *testing.T) {
+	j := New(4)
+	rr := j.Begin([]string{"bib-view", "prices-view"}, 0)
+	rr.View(0).Skip("no region overlap")
+	rr.Commit(nil)
+
+	text, err := j.Explain("bib-view", "b.d")
+	if err != nil {
+		t.Fatalf("Explain on a skipped view errored: %v", err)
+	}
+	for _, want := range []string{"bib-view", "b.d", "skipped", "no region overlap", "round 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("skip explanation missing %q:\n%s", want, text)
+		}
+	}
+
+	// The sibling view was not skipped and has no lineage either: it still
+	// gets the not-found error.
+	if _, err := j.Explain("prices-view", "b.d"); err == nil {
+		t.Error("non-skipped view with no lineage must keep the not-found error")
+	}
+
+	// Two skipped rounds list both IDs, oldest first.
+	rr = j.Begin([]string{"bib-view", "prices-view"}, 0)
+	rr.View(0).Skip("no region overlap")
+	rr.Commit(nil)
+	text, err = j.Explain("bib-view", "b.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "rounds 1 2") {
+		t.Errorf("multi-round skip must list round IDs oldest first:\n%s", text)
+	}
+}
+
+// A skip in an older round must not mask real lineage journaled later: the
+// newest round with lineage wins, exactly as for maintained views.
+func TestExplainLineageBeatsOlderSkip(t *testing.T) {
+	j := New(4)
+	rr := j.Begin([]string{"v"}, 0)
+	rr.View(0).Skip("no region overlap")
+	rr.Commit(nil)
+	rr = j.Begin([]string{"v"}, 0)
+	rr.View(0).Op(OpRecord{Kind: "Source", Out: []TupleRecord{{Keys: []string{"b:b.d"}}}})
+	rr.Commit(nil)
+
+	text, err := j.Explain("v", "b.d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "journaled lineage (round 2)") {
+		t.Errorf("lineage round must win over the older skip:\n%s", text)
+	}
+	if strings.Contains(text, "skipped") {
+		t.Errorf("explanation must not mention the older skip:\n%s", text)
+	}
+}

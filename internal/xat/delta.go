@@ -62,12 +62,23 @@ func PropagateDeltaTraced(p *Plan, in *DeltaInput, parent obs.Span) (*DeltaResul
 // produced, each linked to its originating update region). A nil recorder
 // records nothing.
 func PropagateDeltaObserved(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec) (*DeltaResult, error) {
+	return PropagateDeltaCached(p, in, parent, rec, nil)
+}
+
+// PropagateDeltaCached is PropagateDeltaObserved with an optional cross-round
+// state cache: base sub-plan tables are served from tables the cache carried
+// over from prior rounds, and this round's fresh derivations and per-operator
+// deltas are staged on the cache so the caller can Commit them once the
+// apply phase succeeds. A nil cache reproduces the uncached engine exactly.
+func PropagateDeltaCached(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache) (*DeltaResult, error) {
+	cache.begin()
 	e := &deltaEngine{
 		plan:     p,
 		in:       in,
 		env:      NewEnv(in.New),
 		baseEnv:  NewEnv(in.Base),
 		baseMemo: map[*Op]*Table{},
+		cache:    cache,
 		span:     parent,
 		rec:      rec,
 	}
@@ -106,14 +117,21 @@ type deltaEngine struct {
 	env      *Env // over the post-update reader
 	baseEnv  *Env // over the pre-update store
 	baseMemo map[*Op]*Table
+	cache    *StateCache      // cross-round base-table cache (nil = off)
 	span     obs.Span         // parent span for per-operator tracing (zero = off)
 	rec      *journal.ViewRec // provenance recorder (nil = off)
 	recOut   map[int][]string // op ID -> distinct output lineage keys recorded
 }
 
-// base executes the sub-plan rooted at o over the pre-update store.
+// base executes the sub-plan rooted at o over the pre-update store, or
+// serves it from the cross-round state cache when one is attached and holds
+// a table folded forward to the current pre-update state.
 func (e *deltaEngine) base(o *Op) (*Table, error) {
 	if t, ok := e.baseMemo[o]; ok {
+		return t, nil
+	}
+	if t, ok := e.cache.lookup(o); ok {
+		e.baseMemo[o] = t
 		return t, nil
 	}
 	if obs.Enabled() {
@@ -130,6 +148,7 @@ func (e *deltaEngine) base(o *Op) (*Table, error) {
 	}
 	sp.Arg("tuples_out", len(t.Tuples)).End()
 	e.baseMemo[o] = t
+	e.cache.noteFresh(o, t)
 	return t, nil
 }
 
@@ -183,6 +202,12 @@ func (e *deltaEngine) delta(o *Op) (*Table, error) {
 			sp.Arg("tuples_out", len(t.Tuples))
 		}
 		sp.End()
+	}
+	if err == nil {
+		// Stage the delta for the state cache's commit-time fold: delta
+		// covers every plan operator exactly once per round, so the cache
+		// sees a complete per-operator delta picture.
+		e.cache.noteDelta(o, t)
 	}
 	if err == nil && obs.Enabled() {
 		recordDelta(o, t)

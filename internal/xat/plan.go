@@ -2,6 +2,7 @@ package xat
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"xqview/internal/xpath"
@@ -192,6 +193,30 @@ func (p *Plan) Find(kind OpKind) *Op {
 		}
 	}
 	return nil
+}
+
+// SourceDocs returns the documents the sub-plan rooted at o reads, sorted.
+// This is the operator's invalidation footprint: a cached base table of o
+// can only change when a round's update regions touch one of these
+// documents.
+func (o *Op) SourceDocs() []string {
+	seen := map[string]bool{}
+	var walk func(n *Op)
+	walk = func(n *Op) {
+		if n.Kind == OpSource {
+			seen[n.Doc] = true
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(o)
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SelfMaintainable reports whether the view can be maintained without

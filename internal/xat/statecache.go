@@ -1,0 +1,306 @@
+package xat
+
+import (
+	"xqview/internal/obs"
+	"xqview/internal/xmldoc"
+)
+
+// State-cache metric series (shared across views; per-view numbers live in
+// CacheStats).
+var (
+	cCacheHits      = obs.Default.CounterOf("xat_state_cache_hits_total", "base tables served from the cross-round state cache")
+	cCacheMisses    = obs.Default.CounterOf("xat_state_cache_misses_total", "base-table derivations that missed the state cache")
+	cCacheFolds     = obs.Default.CounterOf("xat_state_cache_folds_total", "cached base tables updated in place by folding a round's deltas")
+	cCacheEvictions = obs.Default.CounterOf("xat_state_cache_evictions_total", "cached base tables dropped by region-driven invalidation")
+	gCacheEntries   = obs.Default.GaugeOf("xat_state_cache_entries", "base tables held by state caches")
+)
+
+// CacheStats summarizes one StateCache's lifetime activity.
+type CacheStats struct {
+	Hits      int // base() calls served from a prior round's table
+	Misses    int // base() calls that derived the table fresh
+	Folds     int // commits that updated a cached table by delta folding
+	Evictions int // cached tables dropped (region overlap the fold cannot absorb)
+	Entries   int // tables currently held
+}
+
+// cacheEntry is one cached base table together with the source documents its
+// sub-plan reads — the unit of region-driven invalidation.
+type cacheEntry struct {
+	tbl  *Table
+	docs []string
+}
+
+// StateCache carries a view's base operator state across maintenance rounds
+// (the per-call baseMemo of PropagateDelta promoted to View lifetime). It is
+// keyed by the plan-stable operator ID, so it survives the per-round
+// deltaEngine whose *Op memo keys it replaces.
+//
+// Lifecycle per round: begin() clears the staging maps, the engine stages
+// fresh derivations (noteFresh) and every operator's delta (noteDelta)
+// during propagation, and Commit — called only after the round's apply phase
+// succeeded — reconciles the store mutations into the held tables: entries
+// whose source documents are untouched by the round's regions are kept
+// verbatim (their deltas are provably empty), and touched entries are
+// updated in place by folding the round's own deltas (insert Δ+ tuples,
+// retract Δ− via the counting solution) or evicted when the delta is not a
+// pure counting delta (patch tuples, constructed content). Invalidate drops
+// everything, for rounds that fail mid-way or out-of-band store mutations.
+//
+// Concurrency: a StateCache belongs to one view and is only touched by the
+// worker maintaining that view, so it needs no locking (the same ownership
+// discipline as the view's extent slot in MaintainAll).
+type StateCache struct {
+	entries map[int]*cacheEntry
+
+	// Per-round staging, cleared by begin():
+	pendingFresh map[int]*cacheEntry
+	pendingDelta map[int]*Table
+
+	stats CacheStats
+}
+
+// NewStateCache returns an empty cache.
+func NewStateCache() *StateCache {
+	return &StateCache{
+		entries:      map[int]*cacheEntry{},
+		pendingFresh: map[int]*cacheEntry{},
+		pendingDelta: map[int]*Table{},
+	}
+}
+
+// begin starts a round: any staging left over from an uncommitted round
+// (e.g. a propagation that errored before apply) is discarded.
+func (c *StateCache) begin() {
+	if c == nil {
+		return
+	}
+	c.pendingFresh = map[int]*cacheEntry{}
+	c.pendingDelta = map[int]*Table{}
+}
+
+// lookup serves operator o's base table from a prior round, if held.
+func (c *StateCache) lookup(o *Op) (*Table, bool) {
+	if c == nil {
+		return nil, false
+	}
+	e, ok := c.entries[o.ID]
+	if !ok {
+		return nil, false
+	}
+	c.stats.Hits++
+	if obs.Enabled() {
+		cCacheHits.Inc()
+	}
+	return e.tbl, true
+}
+
+// noteFresh stages a freshly derived base table for caching at Commit.
+// Tables holding constructed nodes are never cached: their skeletons live in
+// the per-round registry and their identities are not stable across rounds.
+func (c *StateCache) noteFresh(o *Op, t *Table) {
+	if c == nil {
+		return
+	}
+	c.stats.Misses++
+	if obs.Enabled() {
+		cCacheMisses.Inc()
+	}
+	if tableHasConstructed(t) {
+		return
+	}
+	c.pendingFresh[o.ID] = &cacheEntry{tbl: t, docs: o.SourceDocs()}
+}
+
+// noteDelta stages operator o's delta table of the current round; Commit
+// folds it into o's cached base table (the cached state is pre-update).
+func (c *StateCache) noteDelta(o *Op, t *Table) {
+	if c == nil {
+		return
+	}
+	c.pendingDelta[o.ID] = t
+}
+
+// Commit finishes a successfully applied round: fresh tables staged this
+// round join the cache, and every held table whose source documents
+// intersect the round's update regions is folded forward (or evicted when
+// folding is unsound). Tables over untouched documents are kept as-is —
+// deltas originate only from OpSource region tuples, so an untouched
+// sub-plan's delta is empty and its base table is unchanged.
+func (c *StateCache) Commit(regions map[string][]*Region) {
+	if c == nil {
+		return
+	}
+	rs := xmldoc.RegionSet{}
+	for doc, rgs := range regions {
+		for _, r := range rgs {
+			rs.Add(doc, r.Anchor)
+		}
+	}
+	for id, e := range c.pendingFresh {
+		c.entries[id] = e
+	}
+	for id, e := range c.entries {
+		if !rs.TouchesAny(e.docs) {
+			continue
+		}
+		nt, ok := foldTable(e.tbl, c.pendingDelta[id])
+		if !ok {
+			delete(c.entries, id)
+			c.stats.Evictions++
+			if obs.Enabled() {
+				cCacheEvictions.Inc()
+			}
+			continue
+		}
+		e.tbl = nt
+		c.stats.Folds++
+		if obs.Enabled() {
+			cCacheFolds.Inc()
+		}
+	}
+	c.pendingFresh = map[int]*cacheEntry{}
+	c.pendingDelta = map[int]*Table{}
+	c.stats.Entries = len(c.entries)
+	if obs.Enabled() {
+		gCacheEntries.Set(int64(len(c.entries)))
+	}
+}
+
+// Invalidate drops every held table and all staging.
+func (c *StateCache) Invalidate() {
+	if c == nil {
+		return
+	}
+	n := len(c.entries)
+	c.entries = map[int]*cacheEntry{}
+	c.pendingFresh = map[int]*cacheEntry{}
+	c.pendingDelta = map[int]*Table{}
+	c.stats.Evictions += n
+	c.stats.Entries = 0
+	if obs.Enabled() {
+		cCacheEvictions.Add(int64(n))
+		gCacheEntries.Set(0)
+	}
+}
+
+// Len reports how many base tables the cache holds.
+func (c *StateCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *StateCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// tupleIdentity is the counting-solution identity a fold matches tuples on:
+// the per-cell identities of Def 4.2.4, joined like joinKey.
+func tupleIdentity(tp *Tuple) string {
+	parts := make([]string, len(tp.Cells))
+	for i, c := range tp.Cells {
+		parts[i] = cellIdentity(c)
+	}
+	return joinKey(parts)
+}
+
+// tableHasConstructed reports whether any item of the table is a constructed
+// node.
+func tableHasConstructed(t *Table) bool {
+	if t == nil {
+		return false
+	}
+	for _, tp := range t.Tuples {
+		for _, c := range tp.Cells {
+			for _, it := range c {
+				if it.ID.Constructed || it.Skel != nil {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// foldTable applies a round's delta to a cached base table, producing the
+// table the next round's base derivation would compute: positive delta
+// counts append derivations, negative ones retract them by identity (the
+// counting solution). It reports !ok — the caller must evict — when the
+// delta is not a pure counting delta: patch tuples (spine anchors, value
+// modifies), constructed content, a retraction that misses, or a count that
+// would go negative.
+//
+// The input table is never mutated and its tuples are never written through:
+// delta tables share *Tuple pointers across operators (Select and OrderBy
+// pass input tuples along), so the fold rebuilds the tuple slice, copying
+// any tuple whose count changes.
+func foldTable(base *Table, delta *Table) (*Table, bool) {
+	if delta == nil || len(delta.Tuples) == 0 {
+		return base, true
+	}
+	pend := map[string]int{}
+	repr := map[string]*Tuple{}
+	var order []string
+	for _, tp := range delta.Tuples {
+		if tp.Kind != Delta {
+			return nil, false
+		}
+		for _, c := range tp.Cells {
+			for _, it := range c {
+				if it.ID.Constructed || it.Skel != nil {
+					return nil, false
+				}
+			}
+		}
+		id := tupleIdentity(tp)
+		if _, ok := pend[id]; !ok {
+			order = append(order, id)
+			repr[id] = tp
+		}
+		pend[id] += tp.Count
+	}
+	out := base.CloneShape()
+	out.Tuples = make([]*Tuple, 0, len(base.Tuples)+len(order))
+	for _, tp := range base.Tuples {
+		id := tupleIdentity(tp)
+		d, ok := pend[id]
+		if !ok {
+			out.Tuples = append(out.Tuples, tp)
+			continue
+		}
+		delete(pend, id)
+		nc := tp.Count + d
+		if nc < 0 {
+			return nil, false
+		}
+		if nc == 0 {
+			continue
+		}
+		cp := *tp
+		cp.Count = nc
+		out.Tuples = append(out.Tuples, &cp)
+	}
+	for _, id := range order {
+		d, ok := pend[id]
+		if !ok {
+			continue // absorbed by an existing tuple
+		}
+		if d < 0 {
+			return nil, false // retraction of a tuple the base never held
+		}
+		if d == 0 {
+			continue
+		}
+		tp := repr[id]
+		out.Tuples = append(out.Tuples, &Tuple{Cells: tp.Cells, Count: d})
+	}
+	return out, true
+}

@@ -1,0 +1,71 @@
+package xmldoc
+
+import (
+	"sort"
+
+	"xqview/internal/flexkey"
+)
+
+// RegionSet is the set of source regions one maintenance round touches: per
+// document, the FlexKeys anchoring each update (inserted fragment roots,
+// deleted subtree roots, replaced value nodes). It answers the two
+// intersection questions region-driven cache invalidation needs — "does the
+// round touch this document at all" and "does it touch this subtree" —
+// without materializing any node sets.
+type RegionSet map[string][]flexkey.Key
+
+// Add records one update anchor in doc.
+func (rs RegionSet) Add(doc string, anchor flexkey.Key) {
+	rs[doc] = append(rs[doc], anchor)
+}
+
+// Empty reports whether the set holds no regions.
+func (rs RegionSet) Empty() bool {
+	for _, ks := range rs {
+		if len(ks) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TouchesDoc reports whether any region of the round lies in doc.
+func (rs RegionSet) TouchesDoc(doc string) bool {
+	return len(rs[doc]) > 0
+}
+
+// TouchesAny reports whether any of the given documents is touched.
+func (rs RegionSet) TouchesAny(docs []string) bool {
+	for _, d := range docs {
+		if rs.TouchesDoc(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// TouchesSubtree reports whether any region of the round intersects the
+// subtree rooted at prefix in doc: an anchor inside the subtree changes its
+// content, and an anchor on the root-to-prefix spine (a replaced ancestor
+// value, or prefix itself) changes the subtree's context. The empty prefix
+// denotes the whole document.
+func (rs RegionSet) TouchesSubtree(doc string, prefix flexkey.Key) bool {
+	for _, a := range rs[doc] {
+		if flexkey.IsSelfOrAncestorOf(prefix, a) || flexkey.IsAncestorOf(a, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Docs returns the touched document names, sorted.
+func (rs RegionSet) Docs() []string {
+	out := make([]string, 0, len(rs))
+	for d, ks := range rs {
+		if len(ks) > 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

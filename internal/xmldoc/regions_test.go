@@ -1,0 +1,70 @@
+package xmldoc
+
+import (
+	"reflect"
+	"testing"
+
+	"xqview/internal/flexkey"
+)
+
+func TestRegionSetDocAndAnyIntersection(t *testing.T) {
+	rs := RegionSet{}
+	if !rs.Empty() {
+		t.Error("fresh set not empty")
+	}
+	rs.Add("bib.xml", "b.d")
+	rs.Add("bib.xml", "b.f.h")
+	if rs.Empty() {
+		t.Error("set with anchors reports empty")
+	}
+	if !rs.TouchesDoc("bib.xml") {
+		t.Error("bib.xml not touched")
+	}
+	if rs.TouchesDoc("prices.xml") {
+		t.Error("prices.xml wrongly touched")
+	}
+	if !rs.TouchesAny([]string{"prices.xml", "bib.xml"}) {
+		t.Error("TouchesAny missed bib.xml")
+	}
+	if rs.TouchesAny([]string{"prices.xml", "other.xml"}) {
+		t.Error("TouchesAny hit untouched docs")
+	}
+	if rs.TouchesAny(nil) {
+		t.Error("TouchesAny(nil) must be false")
+	}
+	if got := rs.Docs(); !reflect.DeepEqual(got, []string{"bib.xml"}) {
+		t.Errorf("Docs() = %v", got)
+	}
+	// A doc key holding an empty slice counts as untouched.
+	rs["empty.xml"] = nil
+	if rs.TouchesDoc("empty.xml") {
+		t.Error("doc with no anchors reports touched")
+	}
+	if got := rs.Docs(); !reflect.DeepEqual(got, []string{"bib.xml"}) {
+		t.Errorf("Docs() with empty doc = %v", got)
+	}
+}
+
+func TestRegionSetSubtreeIntersection(t *testing.T) {
+	rs := RegionSet{}
+	rs.Add("bib.xml", "b.d.f")
+	cases := []struct {
+		prefix flexkey.Key
+		want   bool
+		why    string
+	}{
+		{"b.d", true, "anchor inside the subtree"},
+		{"b.d.f", true, "anchor is the subtree root"},
+		{"b.d.f.h", true, "anchor on the spine above the subtree"},
+		{"b.x", false, "disjoint sibling subtree"},
+		{"", true, "empty prefix denotes the whole document"},
+	}
+	for _, c := range cases {
+		if got := rs.TouchesSubtree("bib.xml", c.prefix); got != c.want {
+			t.Errorf("TouchesSubtree(bib.xml, %q) = %v, want %v (%s)", c.prefix, got, c.want, c.why)
+		}
+	}
+	if rs.TouchesSubtree("prices.xml", "") {
+		t.Error("subtree intersection leaked across documents")
+	}
+}

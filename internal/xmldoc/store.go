@@ -10,12 +10,25 @@ import (
 // Reader is the read-side contract of the storage manager. The query engine
 // and the propagate phase only require Reader; Layered combines a base store
 // with an overlay of pending inserted fragments.
+//
+// Read-only contract: everything a Reader returns stays owned by the
+// reader. Children and Attrs return the reader's internal slices (a Store
+// hands out its child-index slices directly to keep navigation
+// allocation-free), and Node returns a pointer into the reader's node
+// table — callers must not modify the returned slices or nodes, and must
+// not retain them across a mutation of the underlying store. Implementations
+// are free to return shared state under this contract; callers that need a
+// private copy make one. The readonly test at the repository root verifies
+// the engine's materialize and propagate paths uphold this.
 type Reader interface {
-	// Node returns the node stored under k.
+	// Node returns the node stored under k. The node is owned by the
+	// reader; callers must not modify it.
 	Node(k flexkey.Key) (*Node, bool)
 	// Children returns the element/text children of k in document order.
+	// The slice is owned by the reader; callers must not modify it.
 	Children(k flexkey.Key) []flexkey.Key
-	// Attrs returns the attribute nodes of k in stored order.
+	// Attrs returns the attribute nodes of k in stored order. The slice is
+	// owned by the reader; callers must not modify it.
 	Attrs(k flexkey.Key) []flexkey.Key
 	// Root returns the root element key of a registered document.
 	Root(doc string) (flexkey.Key, bool)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench_pr4.sh — capture the PR 4 state-cache benchmark into BENCH_PR4.json:
+# the same small-delta maintenance round over a large source with the
+# cross-round base-table cache off and on (BenchmarkMaintainCached), plus
+# the disjoint-batch arm whose views_skipped/op metric proves the
+# relevance filter prunes untouched views. BenchmarkMaintainJournaled is
+# re-run alongside so scripts/bench_diff.sh can compare this capture
+# against BENCH_PR3.json on the shared names.
+#
+# The awk extraction scans for unit tokens instead of fixed columns: the
+# cache=skip arm reports a custom views_skipped/op metric, which shifts
+# the B/op and allocs/op positions on its line.
+#
+# Usage: scripts/bench_pr4.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainCached|BenchmarkMaintainJournaled' \
+	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 4,\n'
+	printf '  "benchmark": "BenchmarkMaintainCached+BenchmarkMaintainJournaled",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		/^Benchmark(MaintainCached|MaintainJournaled)\// {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			ns = ""; bytes = ""; allocs = ""; skips = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns = $i
+				else if ($(i+1) == "B/op") bytes = $i
+				else if ($(i+1) == "allocs/op") allocs = $i
+				else if ($(i+1) == "views_skipped/op") skips = $i
+			}
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns)
+			if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+			if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+			if (skips != "") line = line sprintf(", \"views_skipped_per_op\": %s", skips)
+			line = line "}"
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR4.json
+
+echo "wrote BENCH_PR4.json" >&2

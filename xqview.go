@@ -62,6 +62,29 @@ func (db *Database) SetParallelism(n int) {
 	db.opts.Parallelism = n
 }
 
+// SetCacheBaseTables toggles the cross-round propagation state cache: base
+// operator tables the join/aggregate propagation equations consult are
+// carried from round to round, folded forward by each round's own deltas,
+// and invalidated only when a round's update regions touch their source
+// documents. Off by default. Results are byte-identical either way; only
+// the propagate-phase cost changes (toward O(delta) instead of O(source)).
+func (db *Database) SetCacheBaseTables(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.CacheBaseTables = on
+}
+
+// SetSkipDisjointViews toggles the view-relevance filter: views whose access
+// patterns are provably disjoint from an update batch's regions skip the
+// Propagate+Apply phases of that batch entirely (their extents cannot
+// change). Off by default. Skips are recorded in the journal so explain
+// output stays truthful.
+func (db *Database) SetSkipDisjointViews(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.SkipDisjointViews = on
+}
+
 // SetTracer attaches an observability tracer: every maintenance batch
 // records spans for the VPA phases of each view and for every operator of
 // the propagated plans. Write the result with obs.Tracer.WriteJSON and open
@@ -122,6 +145,11 @@ func (db *Database) LoadDocument(name, src string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	_, err := db.store.Load(name, src)
+	// The store changed outside a maintenance round: cached propagation
+	// state no longer matches it.
+	for _, v := range db.views {
+		v.view.InvalidateCache()
+	}
 	return err
 }
 
@@ -245,14 +273,15 @@ type MaintenanceReport struct {
 	Source    time.Duration // refreshing the base documents
 	Total     time.Duration
 
-	UpdatesTotal      int // primitives submitted
-	UpdatesIrrelevant int // discarded by the SAPT relevancy check
-	UpdatesRewritten  int // converted to delete+insert of their anchor
-	DeltaTrees        int // delta update trees produced by propagation
-	NodesMerged       int // view nodes whose counts were merged
-	NodesInserted     int // delta subtrees attached
-	FragmentsRemoved  int // fragments disconnected at their root
-	ValuesModified    int // in-place value replacements
+	UpdatesTotal      int  // primitives submitted
+	UpdatesIrrelevant int  // discarded by the SAPT relevancy check
+	UpdatesRewritten  int  // converted to delete+insert of their anchor
+	DeltaTrees        int  // delta update trees produced by propagation
+	NodesMerged       int  // view nodes whose counts were merged
+	NodesInserted     int  // delta subtrees attached
+	FragmentsRemoved  int  // fragments disconnected at their root
+	ValuesModified    int  // in-place value replacements
+	Skipped           bool // Propagate+Apply pruned by the relevance filter
 }
 
 // ApplyUpdates parses one or more XQuery update statements, evaluates them
@@ -346,14 +375,19 @@ func report(ms *core.MaintStats) *MaintenanceReport {
 		NodesInserted:     ms.Union.Inserted,
 		FragmentsRemoved:  ms.Union.Removed,
 		ValuesModified:    ms.Union.Modified,
+		Skipped:           ms.Skipped != 0,
 	}
 }
 
 // String renders the report in a compact single-line form.
 func (r *MaintenanceReport) String() string {
+	skipped := ""
+	if r.Skipped {
+		skipped = " skipped=true"
+	}
 	return fmt.Sprintf(
-		"validate=%v propagate=%v apply=%v source=%v total=%v (updates=%d irrelevant=%d rewritten=%d deltas=%d merged=%d inserted=%d removed=%d modified=%d)",
+		"validate=%v propagate=%v apply=%v source=%v total=%v (updates=%d irrelevant=%d rewritten=%d deltas=%d merged=%d inserted=%d removed=%d modified=%d%s)",
 		r.Validate, r.Propagate, r.Apply, r.Source, r.Total,
 		r.UpdatesTotal, r.UpdatesIrrelevant, r.UpdatesRewritten, r.DeltaTrees,
-		r.NodesMerged, r.NodesInserted, r.FragmentsRemoved, r.ValuesModified)
+		r.NodesMerged, r.NodesInserted, r.FragmentsRemoved, r.ValuesModified, skipped)
 }
