@@ -10,6 +10,7 @@ import (
 
 	"xqview/internal/bench"
 	"xqview/internal/core"
+	"xqview/internal/faultinject"
 	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/update"
@@ -343,6 +344,50 @@ func BenchmarkMaintainCached(b *testing.B) {
 		}
 		b.ReportMetric(float64(skips)/float64(b.N), "views_skipped/op")
 	})
+}
+
+// BenchmarkMaintainTransactional is the PR 5 round-transaction benchmark
+// on the same 1000-book join round as BenchmarkMaintainCached. The commit
+// arm measures the steady-state cost of the always-on staging machinery
+// (undo log, extent copy, prepared cache commit); comparing its MaintainCached
+// twin across BENCH_PR4.json/BENCH_PR5.json bounds that overhead at 5% in
+// check.sh. The rollback arm arms a fault at the apply boundary every round,
+// so each iteration pays Validate+Propagate+a partial Apply and then a full
+// rollback — the worst-case price of a failed round.
+// scripts/bench_pr5.sh captures both into BENCH_PR5.json.
+func BenchmarkMaintainTransactional(b *testing.B) {
+	run := func(b *testing.B, faultSite string) {
+		s := benchBibStore(b, 1000)
+		v, err := core.NewView(s, bench.BibQ2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		views := []*core.View{v}
+		bib, _ := s.RootElem("bib.xml")
+		opts := core.Options{Parallelism: 1, CacheBaseTables: true}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+				Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1993"),
+					xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("tx-%d", i))))}}
+			if faultSite != "" {
+				if err := faultinject.Arm(faultSite, faultinject.ModeError, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, err := core.MaintainAll(s, views, prims, opts)
+			if faultSite == "" && err != nil {
+				b.Fatal(err)
+			}
+			if faultSite != "" && err == nil {
+				b.Fatal("armed round unexpectedly committed")
+			}
+		}
+		b.StopTimer()
+		faultinject.Reset()
+	}
+	b.Run("commit", func(b *testing.B) { run(b, "") })
+	b.Run("rollback", func(b *testing.B) { run(b, "deepunion.apply") })
 }
 
 func BenchmarkRecomputeBaseline(b *testing.B) {

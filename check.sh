@@ -19,18 +19,52 @@ fi
 echo "== go vet ./..." >&2
 go vet ./...
 
-echo "== go test ./... (tier-1)" >&2
-go test "$@" ./...
+echo "== go test ./... (tier-1, with coverage)" >&2
+coverprofile="${TMPDIR:-/tmp}/xqview_cover.$$"
+trap 'rm -f "$coverprofile"' EXIT
+go test -coverprofile="$coverprofile" "$@" ./...
+
+# Coverage floor: total statement coverage was 73.1% when the gate was
+# introduced; fail if a change sheds more than 2 points. Raise the floor
+# when coverage durably improves, never lower it to admit a regression.
+cover_floor=71.0
+echo "== coverage floor ($cover_floor%)" >&2
+go tool cover -func="$coverprofile" | awk -v floor="$cover_floor" '
+	/^total:/ {
+		pct = $NF; sub(/%/, "", pct)
+		printf "total statement coverage: %s%% (floor %s%%)\n", pct, floor
+		if (pct + 0 < floor + 0) {
+			printf "COVERAGE REGRESSION: %s%% < %s%%\n", pct, floor
+			exit 1
+		}
+	}
+' >&2
 
 echo "== go test -race ./..." >&2
 go test -race "$@" ./...
 
-# Cross-PR benchmark regression gate: when both the PR 3 and PR 4 captures
-# exist (scripts/bench_pr3.sh / bench_pr4.sh), the shared benchmark names
-# must not have regressed by more than 15% ns/op.
+# Fuzz smoke: each native fuzz target runs briefly past its checked-in
+# seed corpus (testdata/fuzz/) so newly-introduced panics in the query
+# frontend, the update language, or FlexKey gap generation surface here
+# rather than only in long offline fuzzing.
+fuzz_smoke="${FUZZ_SMOKE:-3s}"
+echo "== fuzz smoke (-fuzztime $fuzz_smoke per target)" >&2
+go test ./internal/compile/ -run '^$' -fuzz '^FuzzCompile$' -fuzztime "$fuzz_smoke" >&2
+go test ./internal/update/ -run '^$' -fuzz '^FuzzParseUpdates$' -fuzztime "$fuzz_smoke" >&2
+go test ./internal/flexkey/ -run '^$' -fuzz '^FuzzFlexKeyBetween$' -fuzztime "$fuzz_smoke" >&2
+
+# Cross-PR benchmark regression gates: when both captures of a pair exist,
+# the shared benchmark names must not have regressed past the threshold.
+# The PR4→PR5 pair is held to 5%: its shared names are the 1000-book
+# cached-join rounds, and PR 5 routed them through the round-transaction
+# staging machinery, which was required to cost ≤5%.
 if [ -f BENCH_PR3.json ] && [ -f BENCH_PR4.json ]; then
 	echo "== bench_diff BENCH_PR3.json BENCH_PR4.json (15% gate)" >&2
 	scripts/bench_diff.sh BENCH_PR3.json BENCH_PR4.json 15 >&2
+fi
+if [ -f BENCH_PR4.json ] && [ -f BENCH_PR5.json ]; then
+	echo "== bench_diff BENCH_PR4.json BENCH_PR5.json (5% gate)" >&2
+	scripts/bench_diff.sh BENCH_PR4.json BENCH_PR5.json 5 >&2
 fi
 
 echo "check.sh: all green" >&2

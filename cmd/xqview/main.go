@@ -7,7 +7,7 @@
 //	       [-updates updates.xqu | -replay stream.jsonl] [-record stream.jsonl] \
 //	       [-journal] [-explain view=flexkey] [-plan] [-sapt] [-report] \
 //	       [-pretty] [-parallel N] [-cache] [-trace out.json] [-http :6060] \
-//	       [-serve] [-logjson] [-v]
+//	       [-serve] [-logjson] [-v] [-fault site[:error|panic[:hit]]]
 //
 // The view is materialized and printed. With -updates, the update script is
 // applied through the VPA pipeline and the refreshed view is printed; with
@@ -32,9 +32,17 @@
 // source nodes. -record file streams every applied update batch to a file;
 // -replay file re-applies such a stream instead of -updates, reproducing
 // the same maintenance rounds deterministically.
+//
+// Fault injection: -fault site[:error|panic[:hit]] arms one deterministic
+// fault point (internal/faultinject) for the run — e.g. -fault
+// deepunion.apply:panic:1 panics on the first extent merge. Maintenance
+// rounds are transactional, so the failed round rolls back completely: the
+// command prints the intact pre-round view plus the journal's abort record
+// and exits non-zero. An unknown site lists the registered sites.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,10 +50,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"xqview"
+	"xqview/internal/faultinject"
 	"xqview/internal/journal"
 	"xqview/internal/obs"
 )
@@ -106,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	explainKey := fs.String("explain", "", "explain why a view node exists, as view=flexkey (or just flexkey for the only view)")
 	recordFile := fs.String("record", "", "stream every applied update batch to this file (replayable with -replay)")
 	replayFile := fs.String("replay", "", "re-apply a recorded update stream instead of -updates")
+	faultSpec := fs.String("fault", "", "inject a deterministic maintenance fault, as site[:error|panic[:hit]] (e.g. deepunion.apply:panic:1); the failed round rolls back and the view stays intact")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,12 +127,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *updatesFile != "" && *replayFile != "" {
 		return fmt.Errorf("-updates and -replay are mutually exclusive")
 	}
-	if *journalDump || *explainKey != "" {
+	if *journalDump || *explainKey != "" || *faultSpec != "" {
 		// Journal this process's rounds from a clean slate, restoring the
 		// prior state on return (tests run several CLI invocations in one
-		// process).
+		// process). -fault needs the journal too: the abort record is the
+		// user-visible evidence of what the rolled-back round attempted.
 		defer journal.SetEnabled(journal.SetEnabled(true))
 		journal.Default.Reset()
+	}
+	if *faultSpec != "" {
+		if err := armFault(*faultSpec); err != nil {
+			return err
+		}
+		defer faultinject.Reset()
 	}
 
 	level := obs.LevelInfo
@@ -253,7 +271,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		n, err := db.ReplayUpdates(f)
 		f.Close()
 		if err != nil {
-			return err
+			return reportAbort(stdout, render, err)
 		}
 		log.Info("update stream replayed", "file", *replayFile, "batches", n)
 	} else {
@@ -263,7 +281,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		rep, err := v.ApplyUpdates(string(script))
 		if err != nil {
-			return err
+			return reportAbort(stdout, render, err)
 		}
 		if *report {
 			fmt.Fprintln(stderr, rep)
@@ -271,4 +289,60 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stdout, render())
 	return finish()
+}
+
+// armFault parses -fault's site[:error|panic[:hit]] spec and arms the
+// matching fault point.
+func armFault(spec string) error {
+	site, rest, _ := strings.Cut(spec, ":")
+	mode := faultinject.ModeError
+	hit := 1
+	if rest != "" {
+		m, h, _ := strings.Cut(rest, ":")
+		switch m {
+		case "error":
+		case "panic":
+			mode = faultinject.ModePanic
+		default:
+			return fmt.Errorf("-fault: unknown mode %q (want error or panic)", m)
+		}
+		if h != "" {
+			n, err := strconv.Atoi(h)
+			if err != nil || n < 1 {
+				return fmt.Errorf("-fault: bad hit count %q", h)
+			}
+			hit = n
+		}
+	}
+	if err := faultinject.Arm(site, mode, hit); err != nil {
+		return fmt.Errorf("-fault: %w (registered sites: %s)",
+			err, strings.Join(faultinject.Sites(), ", "))
+	}
+	return nil
+}
+
+// reportAbort handles a failed maintenance run. When the journal holds an
+// aborted round — the round was rolled back transactionally — it prints the
+// (intact, pre-round) view and the round's abort record so the failure is
+// inspectable, then passes the error through. Errors with no aborted round
+// (parse errors, bad replay files) pass through silently.
+func reportAbort(stdout io.Writer, render func() string, err error) error {
+	rounds := journal.Default.Rounds()
+	var abort *journal.Round
+	for i := len(rounds) - 1; i >= 0; i-- {
+		if rounds[i].Aborted {
+			abort = rounds[i]
+			break
+		}
+	}
+	if abort == nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "-- maintenance failed; round rolled back, view unchanged --")
+	fmt.Fprintln(stdout, render())
+	fmt.Fprintln(stdout, "-- journal abort record --")
+	if buf, jerr := json.MarshalIndent(abort, "", "  "); jerr == nil {
+		fmt.Fprintln(stdout, string(buf))
+	}
+	return err
 }

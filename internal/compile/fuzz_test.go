@@ -1,0 +1,40 @@
+package compile
+
+import (
+	"testing"
+)
+
+// FuzzCompile drives arbitrary source through the full query frontend
+// (XQuery parser → normalizer → XAT plan builder). The invariant is total
+// robustness: any input either compiles to a non-nil plan with a root
+// operator or returns an error — never a panic — and compilation is
+// deterministic (same input, same plan dump).
+func FuzzCompile(f *testing.F) {
+	f.Add(`<result>{ for $b in doc("bib.xml")/bib/book return <t>{$b/title}</t> }</result>`)
+	f.Add(`<result>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <pair>{$b/title} {$e/price}</pair> }</result>`)
+	f.Add(`<r>{ for $y in distinct-values(doc("b.xml")/bib/book/@year) order by $y return <g Y="{$y}"/> }</r>`)
+	f.Add(`<r>{ for $b in doc("b.xml")/bib/book where $b/@year > 1995 return count($b/author) }</r>`)
+	f.Add(`for $b in doc("bib.xml")`)
+	f.Add(`<unclosed>{`)
+	f.Add(``)
+	f.Add(`<a b="{`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if p == nil || p.Root == nil {
+			t.Fatalf("Compile returned nil plan without error for %q", src)
+		}
+		p2, err2 := Compile(src)
+		if err2 != nil {
+			t.Fatalf("recompile of accepted input failed: %v", err2)
+		}
+		if p.Dump() != p2.Dump() {
+			t.Fatalf("compilation not deterministic for %q:\n%s\nvs\n%s", src, p.Dump(), p2.Dump())
+		}
+	})
+}

@@ -1,13 +1,20 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"xqview/internal/faultinject"
 	"xqview/internal/obs"
 )
+
+// fpPoolTask guards task dispatch in the worker pool; its ModePanic arming
+// is how the crash tests prove a panicking view task cannot take sibling
+// workers (or the process) down.
+var fpPoolTask = faultinject.Register("core.pool.task")
 
 // Options configures a maintenance or recomputation run.
 type Options struct {
@@ -77,17 +84,42 @@ var (
 )
 
 // runTask wraps one pool task with the utilization metrics. Callers gate on
-// obs.Enabled() so the disabled path stays a plain call.
+// obs.Enabled() so the disabled path stays a plain call. Metric finalization
+// is deferred so a panicking task cannot leave the active gauge stuck high.
 func runTask(fn func(i int) error, i int) error {
 	gPoolActive.Add(1)
 	t0 := time.Now()
-	err := fn(i)
-	d := time.Since(t0)
-	gPoolActive.Add(-1)
-	cPoolTasks.Inc()
-	cPoolBusyNS.Add(d.Nanoseconds())
-	hPoolTask.Observe(d)
-	return err
+	defer func() {
+		d := time.Since(t0)
+		gPoolActive.Add(-1)
+		cPoolTasks.Inc()
+		cPoolBusyNS.Add(d.Nanoseconds())
+		hPoolTask.Observe(d)
+	}()
+	return fn(i)
+}
+
+// poolTask dispatches one task with panic containment: a panic inside fn
+// becomes a named error for that task instead of crashing sibling workers.
+// Fault-injection panics (the crash-test probes) surface as their *Fault;
+// real panics keep their value and gain the task index.
+func poolTask(fn func(i int) error, i int, metrics bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*faultinject.Fault); ok {
+				err = fmt.Errorf("core: pool task %d panicked: %w", i, f)
+				return
+			}
+			err = fmt.Errorf("core: pool task %d panicked: %v", i, r)
+		}
+	}()
+	if err := fpPoolTask.Fire(); err != nil {
+		return err
+	}
+	if metrics {
+		return runTask(fn, i)
+	}
+	return fn(i)
 }
 
 // forEachIndex runs fn(0..n-1) over a bounded worker pool. Output slots are
@@ -104,14 +136,10 @@ func forEachIndex(n int, opt Options, fn func(i int) error) error {
 	}
 	if p <= 1 {
 		for i := 0; i < n; i++ {
-			var err error
 			if metrics {
 				gPoolQueue.Set(int64(n - i - 1))
-				err = runTask(fn, i)
-			} else {
-				err = fn(i)
 			}
-			if err != nil {
+			if err := poolTask(fn, i, metrics); err != nil {
 				return err
 			}
 		}
@@ -138,18 +166,14 @@ func forEachIndex(n int, opt Options, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				var err error
 				if metrics {
 					if left := int64(n) - next.Load(); left >= 0 {
 						gPoolQueue.Set(left)
 					} else {
 						gPoolQueue.Set(0)
 					}
-					err = runTask(fn, i)
-				} else {
-					err = fn(i)
 				}
-				if err != nil {
+				if err := poolTask(fn, i, metrics); err != nil {
 					once.Do(func() {
 						first = err
 						close(stop)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"xqview/internal/deepunion"
+	"xqview/internal/faultinject"
+	"xqview/internal/obs"
+	"xqview/internal/xat"
+	"xqview/internal/xmldoc"
+)
+
+// fpRefresh guards the source-refresh phase: it fires per primitive, so a
+// hit count > 1 injects the hardest case — a store already partially
+// refreshed when the round dies.
+var fpRefresh = faultinject.Register("core.refresh")
+
+// Rollback metric series: how often rounds abort and how much state the
+// transaction had to restore.
+var (
+	cRollbacks        = obs.Default.CounterOf("xqview_round_rollbacks_total", "maintenance rounds rolled back")
+	cRollbackRestored = obs.Default.CounterOf("xqview_rollback_restored_total", "pre-images restored by round rollbacks")
+)
+
+// viewStage is one view's staged outcome within a round transaction. The
+// worker maintaining view i is the only writer of slot i (the same
+// index-addressed ownership as the out/propStats slots), and the slots are
+// only read after the pool joins.
+//
+// tx and cache are registered before the apply phase runs, so a worker that
+// dies mid-apply still gets its extent mutations rolled back; extent/prep
+// land only after every fallible per-view step succeeded.
+type viewStage struct {
+	staged bool
+	extent []*xat.VNode
+	tx     *deepunion.Txn
+	prep   *xat.PreparedCommit
+	cache  *xat.StateCache
+}
+
+// roundTxn makes one MaintainAll round all-or-nothing. Every fallible step
+// stages its outcome here — per-view extents under a deepunion.Txn, cache
+// commits as PreparedCommit, store mutations under the store's undo log —
+// and commit installs everything together only after the whole round
+// succeeded. rollback restores every structure byte-identical to the
+// pre-round state.
+type roundTxn struct {
+	store  *xmldoc.Store
+	views  []*View
+	stages []viewStage
+}
+
+func newRoundTxn(store *xmldoc.Store, views []*View) *roundTxn {
+	return &roundTxn{store: store, views: views, stages: make([]viewStage, len(views))}
+}
+
+// commit installs the round: store mutations are kept, staged extents become
+// the views' extents, and prepared cache commits are swapped in. Nothing
+// here can fail — every fallible step already ran.
+func (t *roundTxn) commit() {
+	t.store.CommitUndo()
+	for i, v := range t.views {
+		st := &t.stages[i]
+		if !st.staged {
+			continue // view skipped by the relevance filter: nothing changed
+		}
+		v.Extent = st.extent
+		st.cache.Install(st.prep)
+	}
+}
+
+// rollback undoes everything the round touched: source-refresh mutations via
+// the store undo log, extent node mutations via each view's deepunion.Txn,
+// and cache staging via Rollback (held cache entries stay — they describe
+// the pre-round store, which this restores). Staged extents and prepared
+// commits are simply dropped. Returns how many pre-images were restored.
+func (t *roundTxn) rollback() int {
+	restored := t.store.RollbackUndo()
+	for i := range t.stages {
+		st := &t.stages[i]
+		if st.tx != nil {
+			restored += st.tx.Rollback()
+		}
+		st.cache.Rollback()
+		t.stages[i] = viewStage{}
+	}
+	if obs.Enabled() {
+		cRollbacks.Inc()
+		cRollbackRestored.Add(int64(restored))
+	}
+	return restored
+}
+
+// FaultSites returns every registered fault point of the maintenance
+// pipeline (sorted), for tests that sweep all of them.
+func FaultSites() []string { return faultinject.Sites() }

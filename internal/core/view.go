@@ -177,16 +177,25 @@ func (v *View) ApplyUpdates(prims []*update.Primitive, opts ...Options) (*MaintS
 // immutable pre-update state — the store is read-only for the whole phase
 // and the delta input is frozen after validation — while each worker writes
 // only its own view's extent and stats slot, so result ordering and content
-// are independent of the pool size. The first propagation or apply error
-// cancels the pool and is returned; the store has not been mutated at that
-// point. Source documents are refreshed single-threaded afterwards.
+// are independent of the pool size. Source documents are refreshed
+// single-threaded afterwards.
+//
+// The round is transactional: every view's new extent, cache commit and the
+// source refresh are staged in a round transaction and installed together
+// only after the whole round succeeded. On any error — or a panic in a view
+// task, which the pool recovers into a named error without disturbing
+// sibling workers — the round is rolled back: view extents, source
+// documents and cached propagation state are restored byte-identical to the
+// pre-round state, the journal records an aborted round, and the error is
+// returned. A failed batch can simply be retried.
 func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opts ...Options) ([]*MaintStats, error) {
 	opt := getOpts(opts)
 	// Provenance journaling: MaintainAll owns the round lifecycle — it
 	// stamps the round ID at Begin and commits the round (success or
-	// failure) into the Default journal's retention ring. All downstream
-	// recording threads through the nil-safe RoundRec/ViewRec handles, so
-	// with the gate off the pipeline carries a nil pointer and nothing else.
+	// rolled-back failure) into the Default journal's retention ring. All
+	// downstream recording threads through the nil-safe RoundRec/ViewRec
+	// handles, so with the gate off the pipeline carries a nil pointer and
+	// nothing else.
 	var jrec *journal.RoundRec
 	if journal.Enabled() {
 		names := make([]string, len(views))
@@ -197,15 +206,13 @@ func MaintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	}
 	out, err := maintainAll(store, views, prims, opt, jrec)
 	if err != nil {
-		// A failed round leaves the pipeline in a partial state (some views
-		// may have committed cache folds before the error, and the source
-		// refresh may not have run): no cached table can be trusted to match
-		// the store any more.
-		for _, v := range views {
-			v.InvalidateCache()
-		}
+		// The round transaction restored all pre-round state (including the
+		// caches, whose entries still describe the restored store), so the
+		// journal records the failure as aborted-and-rolled-back.
+		jrec.Abort(err)
+		return nil, err
 	}
-	jrec.Commit(err)
+	jrec.Commit(nil)
 	return out, err
 }
 
@@ -227,7 +234,7 @@ func viewDisjoint(store *xmldoc.Store, v *View, batch *validate.Batch) bool {
 	return true
 }
 
-func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opt Options, jrec *journal.RoundRec) ([]*MaintStats, error) {
+func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, opt Options, jrec *journal.RoundRec) (out []*MaintStats, err error) {
 	start := time.Now()
 	trees := make([]*sapt.Tree, len(views))
 	for i, v := range views {
@@ -240,6 +247,24 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	root := opt.Tracer.StartSpan("MaintainAll").
 		Arg("views", len(views)).Arg("prims", len(prims))
 	defer root.End()
+
+	// Round transaction: every phase below stages into it, and this defer is
+	// the single place the round aborts — any error return (and any panic in
+	// the single-threaded phases; view-task panics were already recovered by
+	// the pool) rolls back the store, the extents and the cache staging to
+	// the pre-round state.
+	txn := newRoundTxn(store, views)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: maintenance panicked: %v", r)
+		}
+		if err != nil {
+			rspan := root.Child("Rollback")
+			restored := txn.rollback()
+			rspan.Arg("restored", restored).End()
+			out = nil
+		}
+	}()
 
 	// --- Validate phase (shared, single-threaded) ---
 	vspan := root.Child("Validate")
@@ -261,13 +286,22 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 
 	// --- Propagate + Apply per view, all against the pre-update store ---
 	din := deltaInput(store, batch)
-	out := make([]*MaintStats, len(views))
+	out = make([]*MaintStats, len(views))
 	// Engine stats are staged per view and folded into View.ExecStats only
-	// after the pool joins, keeping all cross-view writes out of the
-	// concurrent section.
+	// at commit, keeping all cross-view writes out of the concurrent section
+	// and out of rolled-back rounds.
 	propStats := make([]xat.Stats, len(views))
-	err = forEachIndex(len(views), opt, func(i int) error {
+	err = forEachIndex(len(views), opt, func(i int) (werr error) {
 		v := views[i]
+		// A panic while maintaining this view must not poison the others:
+		// recover it here into an error naming the view (the pool's own
+		// recovery would only know the task index), which cancels the round
+		// and rolls it back like any other per-view failure.
+		defer func() {
+			if r := recover(); r != nil {
+				werr = fmt.Errorf("maintain view %q: panic: %v", v.displayName(i), r)
+			}
+		}()
 		// One trace track per view: concurrent views render side by side,
 		// with the Propagate/Apply phases and the per-operator spans of the
 		// maintenance plan nested inside.
@@ -306,9 +340,17 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		pspan.Arg("delta_roots", len(res.Roots)).End()
 		propStats[i] = *res.Stats
 
+		// Apply under the round transaction: tx and cache are registered in
+		// the view's stage slot (each worker owns slot i, like out[i]) before
+		// the first extent node is touched, so even a mid-apply death rolls
+		// back; the staged root slice is a private copy and the live extent
+		// pointer is only swapped at commit.
 		aspan := vtrack.Child("Apply")
 		t0 = time.Now()
-		v.Extent, err = deepunion.ApplyRec(v.Extent, res.Roots, &ms.Union, vrec)
+		tx := deepunion.NewTxn()
+		txn.stages[i].tx = tx
+		txn.stages[i].cache = cache
+		staged, err := deepunion.ApplyTx(append([]*xat.VNode(nil), v.Extent...), res.Roots, &ms.Union, vrec, tx)
 		if err != nil {
 			aspan.End()
 			return fmt.Errorf("apply view %q: %w", v.displayName(i), err)
@@ -316,23 +358,32 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		ms.Apply = time.Since(t0)
 		aspan.Arg("merged", ms.Union.Merged).Arg("inserted", ms.Union.Inserted).
 			Arg("removed", ms.Union.Removed).End()
-		// The round reached the view's extent: fold the staged state forward
-		// so the cache matches the post-refresh store the next round sees.
-		cache.Commit(din.Regions)
+		// Prepare (don't install) the cache fold: the staged state only
+		// becomes visible when the whole round commits.
+		prep, err := cache.Prepare(din.Regions)
+		if err != nil {
+			return fmt.Errorf("cache commit view %q: %w", v.displayName(i), err)
+		}
+		txn.stages[i].extent = staged
+		txn.stages[i].prep = prep
+		txn.stages[i].staged = true
 		out[i] = ms
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range views {
-		v.ExecStats.Add(propStats[i])
-	}
 
-	// --- Refresh the source documents once (single-threaded) ---
+	// --- Refresh the source documents once (single-threaded), under the
+	// store's undo log so a failure here rolls the documents back too ---
 	sspan := root.Child("SourceRefresh")
+	store.BeginUndo()
 	t0 = time.Now()
 	for _, p := range batch.Prims() {
+		if err := fpRefresh.Fire(); err != nil {
+			sspan.End()
+			return nil, fmt.Errorf("source refresh: %w", err)
+		}
 		if err := update.ApplyToStore(store, p); err != nil {
 			sspan.End()
 			return nil, fmt.Errorf("source refresh: %w", err)
@@ -340,6 +391,13 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	}
 	srcTime := time.Since(t0)
 	sspan.End()
+
+	// --- Commit: install every staged outcome together. Nothing below can
+	// fail — all fallible steps ran above. ---
+	txn.commit()
+	for i, v := range views {
+		v.ExecStats.Add(propStats[i])
+	}
 	total := time.Since(start)
 	for _, ms := range out {
 		ms.Source = srcTime

@@ -14,9 +14,20 @@ import (
 	"fmt"
 	"sort"
 
+	"xqview/internal/faultinject"
 	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/xat"
+)
+
+// Fault points at the apply phase's two boundaries: entry (before any merge
+// touches the extent) and the merge→prune transition (after the extent has
+// absorbed every delta but before dead fragments are disconnected). The
+// second point fires with the extent mid-mutation, which is exactly the
+// state a round transaction must be able to roll back.
+var (
+	fpApply      = faultinject.Register("deepunion.apply")
+	fpApplyPrune = faultinject.Register("deepunion.apply.prune")
 )
 
 // Stats reports what one apply pass did.
@@ -41,11 +52,20 @@ var (
 	cModified = obs.Default.CounterOf("deepunion_values_modified_total", "in-place value replacements")
 )
 
-// applyCtx threads the stats sink and the set of nodes whose children may
-// need pruning after all deltas merged.
+// applyCtx threads the stats sink, the set of nodes whose children may
+// need pruning after all deltas merged, and the optional extent transaction
+// recording pre-images of every node the pass mutates.
 type applyCtx struct {
 	st    *Stats
 	dirty map[*xat.VNode]bool
+	tx    *Txn
+}
+
+// touch records n's pre-image when the pass runs under a transaction.
+func (ctx *applyCtx) touch(n *xat.VNode) {
+	if ctx.tx != nil {
+		ctx.tx.touch(n)
+	}
 }
 
 // Apply merges the delta trees into the view roots and prunes dead
@@ -91,6 +111,18 @@ func fusionOf(d *xat.VNode) journal.Fusion {
 // fused into the extent lands in the journal as a Fusion record. A nil
 // recorder records nothing.
 func ApplyRec(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.ViewRec) ([]*xat.VNode, error) {
+	return ApplyTx(roots, deltas, st, rec, nil)
+}
+
+// ApplyTx is ApplyRec under an optional extent transaction: every node the
+// pass mutates is pre-imaged into tx first, so the caller can roll the
+// extent back if the round fails later. The caller must pass a private copy
+// of the root slice (ApplyTx appends to and compacts it); the nodes behind
+// it may stay shared with the live extent. A nil tx applies directly.
+func ApplyTx(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.ViewRec, tx *Txn) ([]*xat.VNode, error) {
+	if err := fpApply.Fire(); err != nil {
+		return nil, err
+	}
 	if st == nil {
 		st = &Stats{}
 	}
@@ -108,7 +140,7 @@ func ApplyRec(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.V
 			cModified.Add(int64(st.Modified - before.Modified))
 		}()
 	}
-	ctx := &applyCtx{st: st, dirty: map[*xat.VNode]bool{}}
+	ctx := &applyCtx{st: st, dirty: map[*xat.VNode]bool{}, tx: tx}
 	idx := map[string]*xat.VNode{}
 	for _, r := range roots {
 		idx[r.ID.Key()] = r
@@ -132,6 +164,9 @@ func ApplyRec(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.V
 	}
 	// Prune phase: disconnect dead fragments at their roots, visiting only
 	// the parents a delta touched.
+	if err := fpApplyPrune.Fire(); err != nil {
+		return nil, err
+	}
 	for n := range ctx.dirty {
 		pruneChildren(n, st)
 	}
@@ -153,6 +188,7 @@ func ApplyRec(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.V
 // merge folds delta node d into existing node ex. No pruning happens here:
 // counts may transit through zero while the batch's deltas accumulate.
 func (ctx *applyCtx) merge(ex, d *xat.VNode) {
+	ctx.touch(ex)
 	ctx.st.Merged++
 	ex.Count += d.Count
 	if d.Mod {
@@ -166,6 +202,7 @@ func (ctx *applyCtx) merge(ex, d *xat.VNode) {
 		}
 		for _, da := range d.Attrs {
 			if ea, ok := aidx[da.ID.Key()]; ok {
+				ctx.touch(ea)
 				ea.Count += da.Count
 				if da.Mod {
 					ea.Value = da.Value

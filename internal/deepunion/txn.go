@@ -1,0 +1,77 @@
+package deepunion
+
+import (
+	"xqview/internal/xat"
+)
+
+// Txn records first-touch pre-images of every extent node an apply pass
+// mutates, so a failed maintenance round can restore the view extent
+// byte-identical to its pre-round shape. Only nodes that already existed in
+// the extent are recorded — delta subtrees cloned into the extent vanish on
+// their own when the parent's pre-round child slice is restored — so the log
+// is proportional to the delta's touch set, never to the extent.
+//
+// The caller owns the root slice: ApplyTx must be handed a copy of the
+// extent's root slice (root-level append/compaction happens on that copy),
+// while the nodes behind it stay shared and are protected here.
+type Txn struct {
+	saved map[*xat.VNode]savedNode
+}
+
+// savedNode is the mutable portion of a VNode's pre-image. Slices and the
+// child index are copied at save time: merge appends through the live
+// backing arrays and prune compacts them in place, so an aliased header
+// would see the round's writes.
+type savedNode struct {
+	count    int
+	value    string
+	attrs    []*xat.VNode
+	children []*xat.VNode
+	index    map[string]*xat.VNode
+}
+
+// NewTxn returns an empty extent transaction.
+func NewTxn() *Txn {
+	return &Txn{saved: map[*xat.VNode]savedNode{}}
+}
+
+// touch saves n's pre-image on first touch.
+func (t *Txn) touch(n *xat.VNode) {
+	if _, ok := t.saved[n]; ok {
+		return
+	}
+	e := savedNode{
+		count:    n.Count,
+		value:    n.Value,
+		attrs:    append([]*xat.VNode(nil), n.Attrs...),
+		children: append([]*xat.VNode(nil), n.Children...),
+	}
+	if n.Index != nil {
+		e.index = make(map[string]*xat.VNode, len(n.Index))
+		for k, v := range n.Index {
+			e.index[k] = v
+		}
+	}
+	t.saved[n] = e
+}
+
+// Touched returns how many extent nodes have pre-images recorded.
+func (t *Txn) Touched() int { return len(t.saved) }
+
+// Rollback restores every touched node in place and clears the log,
+// returning the number of nodes restored. Restoring in place means pointers
+// into the extent held elsewhere (root slices, child indexes of untouched
+// parents) see the pre-round contents again.
+func (t *Txn) Rollback() int {
+	n := 0
+	for node, e := range t.saved {
+		node.Count = e.count
+		node.Value = e.value
+		node.Attrs = e.attrs
+		node.Children = e.children
+		node.Index = e.index
+		n++
+	}
+	t.saved = map[*xat.VNode]savedNode{}
+	return n
+}

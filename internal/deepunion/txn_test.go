@@ -1,0 +1,115 @@
+package deepunion
+
+import (
+	"strings"
+	"testing"
+
+	"xqview/internal/faultinject"
+	"xqview/internal/xat"
+	"xqview/internal/xmldoc"
+)
+
+func attr(lineage, name, val string, count int) *xat.VNode {
+	return &xat.VNode{
+		ID:   xat.ConstructedID(9, []string{lineage}),
+		Kind: xmldoc.Attr, Name: name, Value: val, Count: count,
+	}
+}
+
+func dumpRoots(roots []*xat.VNode) string {
+	var b strings.Builder
+	for _, r := range roots {
+		b.WriteString(r.Dump())
+	}
+	return b.String()
+}
+
+// txnView builds an extent with merged nodes, attributes and a built child
+// index, so a rollback has to restore counts, values, slices and the index.
+func txnView() []*xat.VNode {
+	g1 := elem(2, "g1", "g", 2, text("t1", 1))
+	g1.Attrs = []*xat.VNode{attr("a1", "x", "1", 1)}
+	root := elem(1, "*", "result", 1, g1, elem(3, "g2", "g", 1))
+	childIndex(root) // persistent index must be restored too
+	return []*xat.VNode{root}
+}
+
+// txnDeltas mutates every dimension: count merge, value mod, attr merge,
+// subtree insert, and a kill that triggers pruning.
+func txnDeltas() []*xat.VNode {
+	mod := text("t1-new", 0)
+	mod.Mod = true
+	g1 := elem(2, "g1", "g", 1, mod)
+	g1.Attrs = []*xat.VNode{attr("a1", "x", "2", 1)}
+	kill := elem(3, "g2", "g", -1)
+	ins := elem(4, "g3", "g", 1, text("t3", 1))
+	return []*xat.VNode{elem(1, "*", "result", 0, g1, kill, ins)}
+}
+
+func TestApplyTxRollbackRestoresExtent(t *testing.T) {
+	view := txnView()
+	before := dumpRoots(view)
+	tx := NewTxn()
+	// ApplyTx owns a copy of the root slice, like core hands it.
+	out, err := ApplyTx(append([]*xat.VNode(nil), view...), txnDeltas(), nil, nil, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpRoots(out) == before {
+		t.Fatal("apply was a no-op; test exercises nothing")
+	}
+	if tx.Touched() == 0 {
+		t.Fatal("transaction recorded no pre-images")
+	}
+	tx.Rollback()
+	if after := dumpRoots(view); after != before {
+		t.Fatalf("rollback not byte-identical:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+	if err := Validate(view); err != nil {
+		t.Fatalf("rolled-back extent invalid: %v", err)
+	}
+	// The persistent child index must be back in sync as well.
+	if view[0].Index == nil || len(view[0].Index) != len(view[0].Children) {
+		t.Fatal("child index not restored")
+	}
+}
+
+func TestApplyTxCommitMatchesApplyRec(t *testing.T) {
+	a := txnView()
+	b := txnView()
+	outA, err := ApplyRec(append([]*xat.VNode(nil), a...), txnDeltas(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := NewTxn()
+	outB, err := ApplyTx(append([]*xat.VNode(nil), b...), txnDeltas(), nil, nil, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpRoots(outA) != dumpRoots(outB) {
+		t.Fatalf("transactional apply diverged:\n%s\nvs\n%s", dumpRoots(outA), dumpRoots(outB))
+	}
+}
+
+// TestApplyTxFaultMidApply arms the merge→prune boundary point, so the fault
+// hits with the extent already mutated; rollback must still restore it.
+func TestApplyTxFaultMidApply(t *testing.T) {
+	defer faultinject.Reset()
+	view := txnView()
+	before := dumpRoots(view)
+	if err := faultinject.Arm("deepunion.apply.prune", faultinject.ModeError, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx := NewTxn()
+	_, err := ApplyTx(append([]*xat.VNode(nil), view...), txnDeltas(), nil, nil, tx)
+	if err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	if dumpRoots(view) == before {
+		t.Fatal("fault fired before any mutation; boundary point misplaced")
+	}
+	tx.Rollback()
+	if after := dumpRoots(view); after != before {
+		t.Fatalf("rollback after mid-apply fault not byte-identical:\n%s\nvs\n%s", before, after)
+	}
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisabledFireIsNil(t *testing.T) {
+	p := Register("test.disabled")
+	defer Reset()
+	for i := 0; i < 3; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+	if Enabled() {
+		t.Fatal("Enabled with nothing armed")
+	}
+}
+
+func TestArmErrorFiresOnNthHitOnce(t *testing.T) {
+	p := Register("test.error")
+	defer Reset()
+	if err := Arm("test.error", ModeError, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after Arm")
+	}
+	for i := 1; i <= 2; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := p.Fire()
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("hit 3 did not fire: %v", err)
+	}
+	if f.Site != "test.error" || f.Hit != 3 || f.Mode != ModeError {
+		t.Fatalf("fault mismatch: %+v", f)
+	}
+	if !Fired("test.error") {
+		t.Fatal("Fired not set")
+	}
+	// One-shot: the retry runs clean.
+	if err := p.Fire(); err != nil {
+		t.Fatalf("point fired twice: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("still enabled after one-shot fire")
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	p := Register("test.panic")
+	defer Reset()
+	if err := Arm("test.panic", ModePanic, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok {
+			t.Fatalf("expected *Fault panic, got %v", r)
+		}
+		if f.Site != "test.panic" || f.Mode != ModePanic {
+			t.Fatalf("fault mismatch: %+v", f)
+		}
+	}()
+	p.Fire()
+	t.Fatal("Fire did not panic")
+}
+
+func TestArmUnknownSite(t *testing.T) {
+	if err := Arm("test.never-registered", ModeError, 1); err == nil {
+		t.Fatal("armed an unregistered site")
+	}
+	if err := Arm("test.error", ModeError, 0); err == nil {
+		t.Fatal("accepted hit 0")
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	p := Register("test.disarm")
+	defer Reset()
+	if err := Arm("test.disarm", ModeError, 1); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("test.disarm")
+	if Enabled() {
+		t.Fatal("enabled after Disarm")
+	}
+	if err := p.Fire(); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if err := Arm("test.disarm", ModeError, 1); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if Enabled() || Fired("test.disarm") {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := Register("test.idem")
+	b := Register("test.idem")
+	if a != b {
+		t.Fatal("Register returned distinct points for one site")
+	}
+}
+
+func TestArmFromSeedDeterministic(t *testing.T) {
+	Register("test.seed.a")
+	Register("test.seed.b")
+	defer Reset()
+	s1, m1, h1, err := ArmFromSeed(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	s2, m2, h2, err := ArmFromSeed(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || m1 != m2 || h1 != h2 {
+		t.Fatalf("seed 42 not deterministic: (%s,%v,%d) vs (%s,%v,%d)", s1, m1, h1, s2, m2, h2)
+	}
+	if h1 < 1 || h1 > 3 {
+		t.Fatalf("hit out of range: %d", h1)
+	}
+}

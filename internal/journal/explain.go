@@ -102,6 +102,11 @@ func (j *Journal) Explain(view, key string) (string, error) {
 	// truthful "the view was pruned" answer instead of a not-found error.
 	var skipped []uint64
 	skipReason := ""
+	// Aborted rounds whose partial lineage mentions the key: their effects
+	// were rolled back, so they must never be presented as the provenance of
+	// live view content — but if they are all the journal knows about the
+	// key, saying so is the truthful answer.
+	var aborted []*Round
 	for i := len(rounds) - 1; i >= 0; i-- {
 		r := rounds[i]
 		for vi := range r.PerView {
@@ -114,10 +119,28 @@ func (j *Journal) Explain(view, key string) (string, error) {
 				skipReason = vl.Skipped
 				continue
 			}
-			if text, ok := explainInView(r, vl, key); ok {
-				return text, nil
+			text, ok := explainInView(r, vl, key)
+			if !ok {
+				continue
 			}
+			if r.Aborted {
+				aborted = append(aborted, r)
+				continue
+			}
+			return text, nil
 		}
+	}
+	if len(aborted) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s node %s — no committed lineage; the key appears only in aborted round", view, key)
+		if len(aborted) > 1 {
+			b.WriteByte('s')
+		}
+		for i := len(aborted) - 1; i >= 0; i-- { // oldest first
+			fmt.Fprintf(&b, " %d", aborted[i].ID)
+		}
+		fmt.Fprintf(&b, ", which failed (%s) and was rolled back: no view extent, source document or cache entry retains any effect of it.\n", aborted[0].Error)
+		return b.String(), nil
 	}
 	if len(skipped) > 0 {
 		var b strings.Builder

@@ -130,6 +130,11 @@ type Round struct {
 	Verdicts []Verdict     `json:"verdicts,omitempty"`
 	PerView  []ViewLineage `json:"lineage,omitempty"`
 	Error    string        `json:"error,omitempty"` // set when the round failed
+	// Aborted marks a round whose failure was rolled back transactionally:
+	// no view extent, source document or cache entry retains any effect of
+	// it. Partial lineage records are kept for debugging, but Explain must
+	// not present them as the provenance of live view content.
+	Aborted bool `json:"aborted,omitempty"`
 }
 
 // Round/retention metric series (registered in the shared obs registry; the
@@ -324,6 +329,30 @@ func (rr *RoundRec) Commit(err error) {
 	rr.mu.Lock()
 	done := rr.committed
 	rr.committed = true
+	rr.mu.Unlock()
+	if done {
+		return
+	}
+	if err != nil {
+		rr.r.Error = err.Error()
+	}
+	rr.j.commit(rr.r)
+}
+
+// Abort finishes the round as failed-and-rolled-back: the error is recorded
+// and the round is marked Aborted, telling Explain that none of the round's
+// lineage survives in any view. Like Commit it is idempotent, and a round
+// already committed stays as committed.
+func (rr *RoundRec) Abort(err error) {
+	if rr == nil {
+		return
+	}
+	rr.mu.Lock()
+	done := rr.committed
+	rr.committed = true
+	if !done {
+		rr.r.Aborted = true
+	}
 	rr.mu.Unlock()
 	if done {
 		return

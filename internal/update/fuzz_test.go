@@ -1,0 +1,64 @@
+package update
+
+import (
+	"testing"
+
+	"xqview/internal/xmldoc"
+)
+
+// fuzzStore builds the small fixed corpus the fuzzed statements run against;
+// evaluation errors are fine, panics are not.
+func fuzzStore(t testing.TB) *xmldoc.Store {
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml",
+		`<bib><book year="1994"><title>TCP/IP Illustrated</title><author><last>Stevens</last></author></book>`+
+			`<book year="2000"><title>Data on the Web</title></book></bib>`); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// FuzzParseUpdates drives arbitrary source through the update-language
+// parser and evaluator. Invariants: no panic; on success every primitive is
+// well-formed (known kind, target document registered, inserts carry a
+// fragment, deletes/replaces carry a key).
+func FuzzParseUpdates(f *testing.F) {
+	f.Add(`for $b in document("bib.xml")/bib/book where $b/title = "Data on the Web" update $b delete $b`)
+	f.Add(`for $b in document("bib.xml")/bib update $b insert <book year="1996"><title>New</title></book> into $b`)
+	f.Add(`for $b in document("bib.xml")/bib/book update $b replace $b/title with "Renamed"`)
+	f.Add(`for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b insert <note/> after $b`)
+	f.Add(`for $b in`)
+	f.Add(`update $b delete $b`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		s := fuzzStore(t)
+		prims, err := ParseAndEvaluate(s, src)
+		if err != nil {
+			return
+		}
+		for i, p := range prims {
+			switch p.Kind {
+			case Insert:
+				if p.Frag == nil {
+					t.Fatalf("prim %d: insert without fragment (src %q)", i, src)
+				}
+				if p.Parent == "" {
+					t.Fatalf("prim %d: insert without parent (src %q)", i, src)
+				}
+			case Delete:
+				if p.Key == "" {
+					t.Fatalf("prim %d: delete without key (src %q)", i, src)
+				}
+			case Replace:
+				if p.Key == "" {
+					t.Fatalf("prim %d: replace without key (src %q)", i, src)
+				}
+			default:
+				t.Fatalf("prim %d: unknown kind %v (src %q)", i, p.Kind, src)
+			}
+			if _, ok := s.Root(p.Doc); !ok {
+				t.Fatalf("prim %d: references unregistered document %q (src %q)", i, p.Doc, src)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"xqview/internal/faultinject"
 	"xqview/internal/flexkey"
 	"xqview/internal/journal"
 	"xqview/internal/obs"
@@ -16,6 +17,10 @@ import (
 	"xqview/internal/update"
 	"xqview/internal/xmldoc"
 )
+
+// fpBatch guards the validate phase boundary — the earliest fault point of a
+// round, before any key assignment or staging.
+var fpBatch = faultinject.Register("validate.batch")
 
 // Batch is the validated set of updates handed to the propagate phase and,
 // afterwards, applied to the source store.
@@ -70,6 +75,9 @@ func verdictPath(s *xmldoc.Store, p *update.Primitive) string {
 // primitive's classification (accept / prune / rewrite / reject) lands in
 // the journal round as a Verdict. A nil recorder records nothing.
 func ValidateRec(s *xmldoc.Store, t *sapt.Tree, prims []*update.Primitive, rec *journal.RoundRec) (*Batch, error) {
+	if err := fpBatch.Fire(); err != nil {
+		return nil, err
+	}
 	b := &Batch{
 		ByDoc:   map[string][]*update.Primitive{},
 		Trees:   map[string]*update.Tree{},

@@ -4,11 +4,17 @@ import (
 	"fmt"
 	"time"
 
+	"xqview/internal/faultinject"
 	"xqview/internal/flexkey"
 	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/xmldoc"
 )
+
+// fpPropagate guards the propagate phase boundary: a fault here hits after
+// validation assigned keys but before any view's extent or the cache's
+// committed entries changed.
+var fpPropagate = faultinject.Register("xat.propagate")
 
 // DeltaInput describes the validated source updates for the propagate phase
 // (Ch 7). Base is the pre-update store; New is the post-update view of it
@@ -71,6 +77,9 @@ func PropagateDeltaObserved(p *Plan, in *DeltaInput, parent obs.Span, rec *journ
 // deltas are staged on the cache so the caller can Commit them once the
 // apply phase succeeds. A nil cache reproduces the uncached engine exactly.
 func PropagateDeltaCached(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache) (*DeltaResult, error) {
+	if err := fpPropagate.Fire(); err != nil {
+		return nil, err
+	}
 	cache.begin()
 	e := &deltaEngine{
 		plan:     p,

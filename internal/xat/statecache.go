@@ -1,9 +1,19 @@
 package xat
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xqview/internal/faultinject"
 	"xqview/internal/obs"
 	"xqview/internal/xmldoc"
 )
+
+// fpCommit guards the fallible half of the cache commit protocol (Prepare).
+// It sits inside the prepare step so an injected fault proves a half-built
+// commit never leaks into the shared entries map.
+var fpCommit = faultinject.Register("xat.statecache.commit")
 
 // State-cache metric series (shared across views; per-view numbers live in
 // CacheStats).
@@ -121,15 +131,34 @@ func (c *StateCache) noteDelta(o *Op, t *Table) {
 	c.pendingDelta[o.ID] = t
 }
 
-// Commit finishes a successfully applied round: fresh tables staged this
-// round join the cache, and every held table whose source documents
-// intersect the round's update regions is folded forward (or evicted when
-// folding is unsound). Tables over untouched documents are kept as-is —
-// deltas originate only from OpSource region tuples, so an untouched
-// sub-plan's delta is empty and its base table is unchanged.
-func (c *StateCache) Commit(regions map[string][]*Region) {
+// PreparedCommit is the staged outcome of a round's cache commit: a fully
+// built replacement entries map plus the counter deltas installing it will
+// apply. It shares *Table pointers with the live cache (tables are
+// immutable) but never aliases a live cacheEntry, so discarding it touches
+// nothing.
+type PreparedCommit struct {
+	entries   map[int]*cacheEntry
+	folds     int
+	evictions int
+}
+
+// Prepare builds — without mutating the cache — the entries map a
+// successful round would commit: fresh tables staged this round join the
+// cache, and every held table whose source documents intersect the round's
+// update regions is folded forward (or evicted when folding is unsound).
+// Tables over untouched documents are kept as-is — deltas originate only
+// from OpSource region tuples, so an untouched sub-plan's delta is empty
+// and its base table is unchanged.
+//
+// Prepare is the fallible half of the commit protocol: it may fail (today
+// only by fault injection), and failure leaves the cache exactly as the
+// round found it. Install is the infallible second half.
+func (c *StateCache) Prepare(regions map[string][]*Region) (*PreparedCommit, error) {
 	if c == nil {
-		return
+		return nil, nil
+	}
+	if err := fpCommit.Fire(); err != nil {
+		return nil, err
 	}
 	rs := xmldoc.RegionSet{}
 	for doc, rgs := range regions {
@@ -137,34 +166,95 @@ func (c *StateCache) Commit(regions map[string][]*Region) {
 			rs.Add(doc, r.Anchor)
 		}
 	}
-	for id, e := range c.pendingFresh {
-		c.entries[id] = e
-	}
+	p := &PreparedCommit{entries: make(map[int]*cacheEntry, len(c.entries)+len(c.pendingFresh))}
 	for id, e := range c.entries {
+		p.entries[id] = e
+	}
+	for id, e := range c.pendingFresh {
+		p.entries[id] = e
+	}
+	for id, e := range p.entries {
 		if !rs.TouchesAny(e.docs) {
 			continue
 		}
 		nt, ok := foldTable(e.tbl, c.pendingDelta[id])
 		if !ok {
-			delete(c.entries, id)
-			c.stats.Evictions++
-			if obs.Enabled() {
-				cCacheEvictions.Inc()
-			}
+			delete(p.entries, id)
+			p.evictions++
 			continue
 		}
-		e.tbl = nt
-		c.stats.Folds++
-		if obs.Enabled() {
-			cCacheFolds.Inc()
-		}
+		// New cacheEntry value: the live entry (possibly shared with the
+		// committed cache) must not see the folded table until Install.
+		p.entries[id] = &cacheEntry{tbl: nt, docs: e.docs}
+		p.folds++
+	}
+	return p, nil
+}
+
+// Install atomically swaps in a prepared commit and clears the round's
+// staging. It cannot fail: everything fallible happened in Prepare.
+func (c *StateCache) Install(p *PreparedCommit) {
+	if c == nil || p == nil {
+		return
+	}
+	c.entries = p.entries
+	c.pendingFresh = map[int]*cacheEntry{}
+	c.pendingDelta = map[int]*Table{}
+	c.stats.Folds += p.folds
+	c.stats.Evictions += p.evictions
+	c.stats.Entries = len(c.entries)
+	if obs.Enabled() {
+		cCacheFolds.Add(int64(p.folds))
+		cCacheEvictions.Add(int64(p.evictions))
+		gCacheEntries.Set(int64(len(c.entries)))
+	}
+}
+
+// Rollback abandons the round: staging is dropped, held tables stay exactly
+// as the round found them (they describe the pre-round store, which a
+// rolled-back round restores). Counters other than Entries are untouched so
+// a retried round reports the same totals as a fault-free run.
+func (c *StateCache) Rollback() {
+	if c == nil {
+		return
 	}
 	c.pendingFresh = map[int]*cacheEntry{}
 	c.pendingDelta = map[int]*Table{}
-	c.stats.Entries = len(c.entries)
-	if obs.Enabled() {
-		gCacheEntries.Set(int64(len(c.entries)))
+}
+
+// Commit is Prepare+Install in one step, for callers without a round
+// transaction (tests, the readonly harness). On error the cache rolls back.
+func (c *StateCache) Commit(regions map[string][]*Region) error {
+	p, err := c.Prepare(regions)
+	if err != nil {
+		c.Rollback()
+		return err
 	}
+	c.Install(p)
+	return nil
+}
+
+// Fingerprint renders the held entries deterministically — operator IDs in
+// order, each with its source documents and full table contents — so tests
+// can assert byte-identity of cache state across rollback/retry. A nil
+// cache fingerprints like an empty one: lazy cache creation is not an
+// observable state change.
+func (c *StateCache) Fingerprint() string {
+	if c == nil {
+		return "entries=0\n"
+	}
+	ids := make([]int, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		e := c.entries[id]
+		fmt.Fprintf(&b, "op %d docs=%s\n%s", id, strings.Join(e.docs, ","), e.tbl.String())
+	}
+	fmt.Fprintf(&b, "entries=%d\n", len(c.entries))
+	return b.String()
 }
 
 // Invalidate drops every held table and all staging.

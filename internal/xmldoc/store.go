@@ -51,6 +51,12 @@ type Store struct {
 	parent   map[flexkey.Key]flexkey.Key
 	roots    map[string]flexkey.Key
 	docSeq   int
+
+	// undo, when non-nil, records first-touch pre-images of every mutation
+	// so a failed maintenance round can be rolled back exactly (see
+	// BeginUndo in undo.go). Nil outside a transactional refresh: each
+	// mutator then pays one nil check per touched structure.
+	undo *undoLog
 }
 
 // NewStore returns an empty store.
@@ -75,9 +81,12 @@ func (s *Store) LoadFragment(doc string, root *Frag) (flexkey.Key, error) {
 	}
 	docKey := flexkey.Key(flexkey.Segment(s.docSeq))
 	s.docSeq++
+	s.touchRoot(doc)
 	s.roots[doc] = docKey
+	s.touchNode(docKey)
 	s.nodes[docKey] = &Node{Key: docKey, Kind: Document, Name: doc, Count: 1}
 	rootKey := flexkey.Child(docKey, 0)
+	s.touchChildren(docKey)
 	s.children[docKey] = []flexkey.Key{rootKey}
 	s.insertFragAt(rootKey, docKey, root)
 	return rootKey, nil
@@ -108,15 +117,25 @@ func (s *Store) Load(doc, src string) (flexkey.Key, error) {
 // insertFragAt stores fragment f under key k with parent p, recursively
 // assigning gapped child keys.
 func (s *Store) insertFragAt(k, p flexkey.Key, f *Frag) {
+	s.touchNode(k)
 	s.nodes[k] = &Node{Key: k, Kind: f.Kind, Name: f.Name, Value: f.Value, Count: 1}
 	if p != "" {
+		s.touchParent(k)
 		s.parent[k] = p
+	}
+	if len(f.Attrs) > 0 {
+		s.touchAttrs(k)
 	}
 	for i, a := range f.Attrs {
 		ak := flexkey.Append(k, "@"+flexkey.Segment(i))
+		s.touchNode(ak)
 		s.nodes[ak] = &Node{Key: ak, Kind: Attr, Name: a.Name, Value: a.Value, Count: 1}
+		s.touchParent(ak)
 		s.parent[ak] = k
 		s.attrs[k] = append(s.attrs[k], ak)
+	}
+	if len(f.Children) > 0 {
+		s.touchChildren(k)
 	}
 	for i, c := range f.Children {
 		ck := flexkey.Child(k, i)
@@ -233,6 +252,7 @@ func (s *Store) Siblings(k flexkey.Key) (prev, next flexkey.Key) {
 }
 
 func (s *Store) insertChildKeySorted(parent, k flexkey.Key) {
+	s.touchChildren(parent)
 	cs := s.children[parent]
 	i := sort.Search(len(cs), func(i int) bool { return cs[i] >= k })
 	cs = append(cs, "")
@@ -251,6 +271,7 @@ func (s *Store) DeleteSubtree(k flexkey.Key) error {
 		cs := s.children[p]
 		for i, c := range cs {
 			if c == k {
+				s.touchChildren(p)
 				s.children[p] = append(cs[:i:i], cs[i+1:]...)
 				break
 			}
@@ -258,6 +279,7 @@ func (s *Store) DeleteSubtree(k flexkey.Key) error {
 		as := s.attrs[p]
 		for i, c := range as {
 			if c == k {
+				s.touchAttrs(p)
 				s.attrs[p] = append(as[:i:i], as[i+1:]...)
 				break
 			}
@@ -274,6 +296,10 @@ func (s *Store) deleteRec(k flexkey.Key) {
 	for _, a := range s.attrs[k] {
 		s.deleteRec(a)
 	}
+	s.touchChildren(k)
+	s.touchAttrs(k)
+	s.touchParent(k)
+	s.touchNode(k)
 	delete(s.children, k)
 	delete(s.attrs, k)
 	delete(s.parent, k)
@@ -289,6 +315,7 @@ func (s *Store) ReplaceText(k flexkey.Key, v string) error {
 	if n.Kind == Element {
 		return fmt.Errorf("xmldoc: replace target %s is an element", k)
 	}
+	s.touchNode(k)
 	n.Value = v
 	return nil
 }

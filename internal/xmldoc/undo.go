@@ -1,0 +1,230 @@
+package xmldoc
+
+import (
+	"fmt"
+	"strings"
+
+	"xqview/internal/flexkey"
+)
+
+// undoLog captures first-touch pre-images of every store structure a
+// mutation writes, so a failed maintenance round can restore the store
+// byte-identical to its pre-round state. The log is proportional to the
+// nodes the round's source refresh touched, never to the store size.
+//
+// Pre-images are taken lazily: each touch helper saves an entry only the
+// first time its key is written while the log is active. Slices are copied
+// at save time (append-style mutators may write through the live backing
+// array), and node pre-images keep the original *Node pointer so rollback
+// restores in place — aliases handed out by the Reader interface before the
+// round see the restored contents, not a stale copy.
+type undoLog struct {
+	nodes    map[flexkey.Key]undoNode
+	children map[flexkey.Key]undoKeys
+	attrs    map[flexkey.Key]undoKeys
+	parent   map[flexkey.Key]undoParent
+	roots    map[string]undoRoot
+	docSeq   int
+}
+
+type undoNode struct {
+	ptr     *Node
+	val     Node
+	present bool
+}
+
+type undoKeys struct {
+	val     []flexkey.Key
+	present bool
+}
+
+type undoParent struct {
+	val     flexkey.Key
+	present bool
+}
+
+type undoRoot struct {
+	val     flexkey.Key
+	present bool
+}
+
+// BeginUndo starts recording pre-images of subsequent mutations. Calling it
+// with a log already active discards the old log (the previous round's
+// mutations are considered committed). The store stays single-writer: undo
+// recording follows the same phase discipline as mutation itself.
+func (s *Store) BeginUndo() {
+	s.undo = &undoLog{
+		nodes:    map[flexkey.Key]undoNode{},
+		children: map[flexkey.Key]undoKeys{},
+		attrs:    map[flexkey.Key]undoKeys{},
+		parent:   map[flexkey.Key]undoParent{},
+		roots:    map[string]undoRoot{},
+		docSeq:   s.docSeq,
+	}
+}
+
+// CommitUndo discards the active undo log, keeping every mutation since
+// BeginUndo. A no-op when no log is active.
+func (s *Store) CommitUndo() { s.undo = nil }
+
+// RollbackUndo restores every structure mutated since BeginUndo to its
+// pre-image and discards the log, returning how many entries were restored.
+// A no-op (returning 0) when no log is active.
+func (s *Store) RollbackUndo() int {
+	u := s.undo
+	if u == nil {
+		return 0
+	}
+	s.undo = nil
+	n := 0
+	for k, e := range u.nodes {
+		if e.present {
+			*e.ptr = e.val
+			s.nodes[k] = e.ptr
+		} else {
+			delete(s.nodes, k)
+		}
+		n++
+	}
+	for k, e := range u.children {
+		if e.present {
+			s.children[k] = e.val
+		} else {
+			delete(s.children, k)
+		}
+		n++
+	}
+	for k, e := range u.attrs {
+		if e.present {
+			s.attrs[k] = e.val
+		} else {
+			delete(s.attrs, k)
+		}
+		n++
+	}
+	for k, e := range u.parent {
+		if e.present {
+			s.parent[k] = e.val
+		} else {
+			delete(s.parent, k)
+		}
+		n++
+	}
+	for d, e := range u.roots {
+		if e.present {
+			s.roots[d] = e.val
+		} else {
+			delete(s.roots, d)
+		}
+		n++
+	}
+	s.docSeq = u.docSeq
+	return n
+}
+
+// UndoActive reports whether an undo log is currently recording.
+func (s *Store) UndoActive() bool { return s.undo != nil }
+
+// touchNode saves the pre-image of s.nodes[k] on first touch.
+func (s *Store) touchNode(k flexkey.Key) {
+	u := s.undo
+	if u == nil {
+		return
+	}
+	if _, ok := u.nodes[k]; ok {
+		return
+	}
+	n, present := s.nodes[k]
+	e := undoNode{ptr: n, present: present}
+	if present {
+		e.val = *n
+	}
+	u.nodes[k] = e
+}
+
+// touchChildren saves the pre-image of s.children[k] on first touch.
+func (s *Store) touchChildren(k flexkey.Key) {
+	u := s.undo
+	if u == nil {
+		return
+	}
+	if _, ok := u.children[k]; ok {
+		return
+	}
+	v, present := s.children[k]
+	e := undoKeys{present: present}
+	if present {
+		e.val = append([]flexkey.Key(nil), v...)
+	}
+	u.children[k] = e
+}
+
+// touchAttrs saves the pre-image of s.attrs[k] on first touch.
+func (s *Store) touchAttrs(k flexkey.Key) {
+	u := s.undo
+	if u == nil {
+		return
+	}
+	if _, ok := u.attrs[k]; ok {
+		return
+	}
+	v, present := s.attrs[k]
+	e := undoKeys{present: present}
+	if present {
+		e.val = append([]flexkey.Key(nil), v...)
+	}
+	u.attrs[k] = e
+}
+
+// touchParent saves the pre-image of s.parent[k] on first touch.
+func (s *Store) touchParent(k flexkey.Key) {
+	u := s.undo
+	if u == nil {
+		return
+	}
+	if _, ok := u.parent[k]; ok {
+		return
+	}
+	v, present := s.parent[k]
+	u.parent[k] = undoParent{val: v, present: present}
+}
+
+// touchRoot saves the pre-image of s.roots[doc] on first touch.
+func (s *Store) touchRoot(doc string) {
+	u := s.undo
+	if u == nil {
+		return
+	}
+	if _, ok := u.roots[doc]; ok {
+		return
+	}
+	v, present := s.roots[doc]
+	u.roots[doc] = undoRoot{val: v, present: present}
+}
+
+// DebugDump renders the complete store state deterministically — every
+// document tree in key order with kinds, names, values, counts and parent
+// links, plus the total node count and document sequence — so tests can
+// assert byte-identity between two store states (e.g. pre-round vs
+// post-rollback). Unreachable staged nodes show up through the size line.
+func (s *Store) DebugDump() string {
+	var b strings.Builder
+	var walk func(k flexkey.Key, depth int)
+	walk = func(k flexkey.Key, depth int) {
+		n := s.nodes[k]
+		fmt.Fprintf(&b, "%s%s kind=%d name=%q value=%q count=%d parent=%s\n",
+			strings.Repeat(" ", depth), k, int(n.Kind), n.Name, n.Value, n.Count, s.parent[k])
+		for _, a := range s.attrs[k] {
+			walk(a, depth+1)
+		}
+		for _, c := range s.children[k] {
+			walk(c, depth+1)
+		}
+	}
+	for _, doc := range s.Docs() {
+		fmt.Fprintf(&b, "doc %s root=%s\n", doc, s.roots[doc])
+		walk(s.roots[doc], 1)
+	}
+	fmt.Fprintf(&b, "size=%d docSeq=%d\n", len(s.nodes), s.docSeq)
+	return b.String()
+}

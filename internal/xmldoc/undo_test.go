@@ -1,0 +1,159 @@
+package xmldoc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func undoTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if _, err := s.Load("a.xml", `<a><b x="1"><t>one</t></b><b x="2"><t>two</t></b></a>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("c.xml", `<c><d>v</d></c>`); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mutate applies one random mutation to the store, returning a description
+// for failure messages. Mutations mirror what a source refresh performs:
+// fragment inserts, subtree deletes, text replacements.
+func mutate(t *testing.T, s *Store, rng *rand.Rand, i int) string {
+	t.Helper()
+	root, _ := s.RootElem("a.xml")
+	kids := s.Children(root)
+	switch rng.Intn(3) {
+	case 0:
+		f := Elem("b", AttrF("x", fmt.Sprintf("n%d", i)), Elem("t", TextF(fmt.Sprintf("v%d", i))))
+		if _, err := s.InsertFragment(root, "", "", f); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		return "insert"
+	case 1:
+		if len(kids) == 0 {
+			return "skip"
+		}
+		if err := s.DeleteSubtree(kids[rng.Intn(len(kids))]); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		return "delete"
+	default:
+		if len(kids) == 0 {
+			return "skip"
+		}
+		b := kids[rng.Intn(len(kids))]
+		ts := s.Children(b)
+		if len(ts) == 0 {
+			return "skip"
+		}
+		texts := s.Children(ts[0])
+		if len(texts) == 0 {
+			return "skip"
+		}
+		if err := s.ReplaceText(texts[0], fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatalf("replace: %v", err)
+		}
+		return "replace"
+	}
+}
+
+// TestUndoRollbackRestoresExactly drives random mutation batches under an
+// undo log and asserts rollback restores the byte-exact DebugDump, while
+// commit keeps the mutations.
+func TestUndoRollbackRestoresExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := undoTestStore(t)
+	for round := 0; round < 20; round++ {
+		before := s.DebugDump()
+		s.BeginUndo()
+		if !s.UndoActive() {
+			t.Fatal("undo not active after BeginUndo")
+		}
+		n := 1 + rng.Intn(4)
+		var ops []string
+		for i := 0; i < n; i++ {
+			ops = append(ops, mutate(t, s, rng, round*10+i))
+		}
+		if restored := s.RollbackUndo(); restored == 0 && before != s.DebugDump() {
+			t.Fatalf("round %d: rollback restored nothing but state changed", round)
+		}
+		if after := s.DebugDump(); after != before {
+			t.Fatalf("round %d (%v): rollback not byte-identical:\n--- before ---\n%s\n--- after ---\n%s",
+				round, ops, before, after)
+		}
+		// Now run the same class of mutations committed, so later rounds
+		// exercise rollback from varied store shapes.
+		s.BeginUndo()
+		mutate(t, s, rng, round*10+9)
+		s.CommitUndo()
+		if s.UndoActive() {
+			t.Fatal("undo active after CommitUndo")
+		}
+	}
+}
+
+// TestUndoInPlaceNodeRestore verifies rollback restores node contents
+// through the original pointer: aliases handed out before the round see the
+// pre-round value again.
+func TestUndoInPlaceNodeRestore(t *testing.T) {
+	s := undoTestStore(t)
+	root, _ := s.RootElem("c.xml")
+	d := s.Children(root)[0]
+	text := s.Children(d)[0]
+	alias, _ := s.Node(text)
+	if alias.Value != "v" {
+		t.Fatalf("setup: %q", alias.Value)
+	}
+	s.BeginUndo()
+	if err := s.ReplaceText(text, "changed"); err != nil {
+		t.Fatal(err)
+	}
+	if alias.Value != "changed" {
+		t.Fatalf("alias did not observe mutation: %q", alias.Value)
+	}
+	s.RollbackUndo()
+	if alias.Value != "v" {
+		t.Fatalf("alias did not observe rollback: %q", alias.Value)
+	}
+}
+
+// TestUndoLoadFragmentRollback covers document registration under an undo
+// log (not used by maintenance, but the hooks must stay complete).
+func TestUndoLoadFragmentRollback(t *testing.T) {
+	s := undoTestStore(t)
+	before := s.DebugDump()
+	s.BeginUndo()
+	if _, err := s.Load("new.xml", `<n><m>x</m></n>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Root("new.xml"); !ok {
+		t.Fatal("document not loaded")
+	}
+	s.RollbackUndo()
+	if after := s.DebugDump(); after != before {
+		t.Fatalf("load rollback not byte-identical:\n%s\nvs\n%s", before, after)
+	}
+	if _, ok := s.Root("new.xml"); ok {
+		t.Fatal("document still registered after rollback")
+	}
+}
+
+// TestUndoNoLogIsNoop: mutations without BeginUndo must not record, and
+// RollbackUndo must be a safe no-op.
+func TestUndoNoLogIsNoop(t *testing.T) {
+	s := undoTestStore(t)
+	root, _ := s.RootElem("a.xml")
+	if _, err := s.InsertFragment(root, "", "", Elem("b", Elem("t", TextF("x")))); err != nil {
+		t.Fatal(err)
+	}
+	after := s.DebugDump()
+	if n := s.RollbackUndo(); n != 0 {
+		t.Fatalf("rollback without a log restored %d entries", n)
+	}
+	if s.DebugDump() != after {
+		t.Fatal("no-op rollback changed the store")
+	}
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench_pr5.sh — capture the PR 5 round-transaction benchmarks into
+# BENCH_PR5.json. BenchmarkMaintainCached is re-run so scripts/bench_diff.sh
+# can compare this capture against BENCH_PR4.json on the shared 1000-book
+# names — that diff is the ≤5% staging-overhead bound enforced by check.sh,
+# since PR 5 made every MaintainAll round stage through the transaction
+# machinery (store undo log, extent copy, prepared cache commit).
+# BenchmarkMaintainTransactional adds the explicit commit/rollback arms on
+# the same join round; the rollback arm prices a fault-aborted round.
+#
+# Usage: scripts/bench_pr5.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainCached|BenchmarkMaintainTransactional' \
+	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 5,\n'
+	printf '  "benchmark": "BenchmarkMaintainCached+BenchmarkMaintainTransactional",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		/^Benchmark(MaintainCached|MaintainTransactional)\// {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			ns = ""; bytes = ""; allocs = ""; skips = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns = $i
+				else if ($(i+1) == "B/op") bytes = $i
+				else if ($(i+1) == "allocs/op") allocs = $i
+				else if ($(i+1) == "views_skipped/op") skips = $i
+			}
+			line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns)
+			if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+			if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+			if (skips != "") line = line sprintf(", \"views_skipped_per_op\": %s", skips)
+			line = line "}"
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR5.json
+
+echo "wrote BENCH_PR5.json" >&2
