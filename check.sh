@@ -66,5 +66,20 @@ if [ -f BENCH_PR4.json ] && [ -f BENCH_PR5.json ]; then
 	echo "== bench_diff BENCH_PR4.json BENCH_PR5.json (5% gate)" >&2
 	scripts/bench_diff.sh BENCH_PR4.json BENCH_PR5.json 5 >&2
 fi
+# The PR5→PR6 pair is an improvement lock, not an overhead allowance: PR 6
+# moved round tuple traffic into a round-scoped arena, compacts batches
+# before validation, and dropped the per-call O(source) seen-map wipe from
+# path navigation, landing every maintenance arm at 37–61% below its PR 5
+# ns/op and allocs/op at a sixth. The 0% ns/op gate keeps any later change
+# from quietly giving that back; cache=skip is excluded from the ns gate
+# because a pruned round runs in microseconds and its ns/op is scheduler
+# noise, but it stays in the allocs gate (allocs are deterministic, with a
+# small tolerance for sync.Pool victim-cache timing).
+if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then
+	echo "== bench_diff BENCH_PR5.json BENCH_PR6.json (0% gate, maintenance arms)" >&2
+	scripts/bench_diff.sh BENCH_PR5.json BENCH_PR6.json 0 'cache=on|cache=off|commit|rollback' >&2
+	echo "== allocs_diff BENCH_PR5.json BENCH_PR6.json (5% gate)" >&2
+	scripts/allocs_diff.sh BENCH_PR5.json BENCH_PR6.json 5 >&2
+fi
 
 echo "check.sh: all green" >&2

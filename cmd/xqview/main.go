@@ -6,8 +6,9 @@
 //	xqview -doc name=file.xml [-doc name2=file2.xml ...] -query query.xq \
 //	       [-updates updates.xqu | -replay stream.jsonl] [-record stream.jsonl] \
 //	       [-journal] [-explain view=flexkey] [-plan] [-sapt] [-report] \
-//	       [-pretty] [-parallel N] [-cache] [-trace out.json] [-http :6060] \
-//	       [-serve] [-logjson] [-v] [-fault site[:error|panic[:hit]]]
+//	       [-pretty] [-parallel N] [-cache] [-arena=off] [-compact=off] \
+//	       [-trace out.json] [-http :6060] [-serve] [-logjson] [-v] \
+//	       [-fault site[:error|panic[:hit]]]
 //
 // The view is materialized and printed. With -updates, the update script is
 // applied through the VPA pipeline and the refreshed view is printed; with
@@ -107,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pretty := fs.Bool("pretty", false, "indent the printed view")
 	parallel := fs.Int("parallel", 0, "max views maintained concurrently per batch (0 = GOMAXPROCS, 1 = sequential)")
 	cacheOn := fs.Bool("cache", false, "cache base operator tables across update batches and skip views untouched by a batch")
+	arenaFlag := fs.String("arena", "on", "round-scoped arena allocation for maintenance transients, on|off (off = plain heap allocation; results identical)")
+	compactFlag := fs.String("compact", "on", "pre-validation update-batch normalization, on|off (cancel insert+delete pairs, coalesce repeated replaces, merge adjacent inserts; decisions are journaled)")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON of the maintenance run to this file")
 	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	serve := fs.Bool("serve", false, "with -http: keep serving after the run instead of exiting")
@@ -157,6 +160,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		db.SetCacheBaseTables(true)
 		db.SetSkipDisjointViews(true)
 	}
+	arenaOn, err := onOff("arena", *arenaFlag)
+	if err != nil {
+		return err
+	}
+	compactOn, err := onOff("compact", *compactFlag)
+	if err != nil {
+		return err
+	}
+	db.SetArena(arenaOn)
+	db.SetCompaction(compactOn)
 	db.SetLogger(log)
 
 	var tracer *obs.Tracer
@@ -289,6 +302,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stdout, render())
 	return finish()
+}
+
+// onOff parses an on|off flag value.
+func onOff(name, v string) (bool, error) {
+	switch v {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("-%s: want on or off, got %q", name, v)
 }
 
 // armFault parses -fault's site[:error|panic[:hit]] spec and arms the

@@ -1,0 +1,133 @@
+package arena
+
+import "testing"
+
+func TestMakeZeroedAndDisjoint(t *testing.T) {
+	var p Pool[int]
+	a := p.Make(3, 3)
+	b := p.Make(2, 4)
+	for i := range a {
+		if a[i] != 0 {
+			t.Fatalf("a[%d] = %d, want 0", i, a[i])
+		}
+	}
+	a[0], a[1], a[2] = 1, 2, 3
+	b[0], b[1] = 9, 9
+	if a[0] != 1 || a[2] != 3 {
+		t.Fatalf("overlapping allocations: a = %v", a)
+	}
+	// b was reserved with capacity 4; appends within that capacity must not
+	// touch later allocations.
+	c := p.Make(1, 1)
+	b = append(b, 8, 8)
+	if c[0] != 0 {
+		t.Fatalf("append into reserved cap clobbered later allocation: c[0] = %d", c[0])
+	}
+}
+
+func TestMakeCapOverflowFallsBack(t *testing.T) {
+	p := Pool[byte]{ChunkSize: 8}
+	s := p.Make(0, 4)
+	for i := 0; i < 100; i++ {
+		s = append(s, byte(i)) // overflows the reservation, moves to heap
+	}
+	if len(s) != 100 || s[99] != 99 {
+		t.Fatalf("heap fallback lost data: len=%d", len(s))
+	}
+}
+
+func TestBigAllocation(t *testing.T) {
+	p := Pool[int]{ChunkSize: 4}
+	s := p.Make(10, 10)
+	for i := range s {
+		s[i] = i
+	}
+	if p.Retained() > 4 {
+		t.Fatalf("big allocation consumed retained chunks: %d", p.Retained())
+	}
+	p.Reset(false)
+	if got := len(p.big); got != 0 {
+		t.Fatalf("big allocations retained after Reset: %d", got)
+	}
+}
+
+func TestResetZeroesAndReuses(t *testing.T) {
+	p := Pool[*int]{ChunkSize: 4}
+	v := 7
+	first := p.Make(4, 4)
+	for i := range first {
+		first[i] = &v
+	}
+	second := p.Make(2, 2) // second chunk
+	second[0] = &v
+	p.Reset(false)
+	for i := range first {
+		if first[i] != nil {
+			t.Fatalf("Reset left pointer at %d", i)
+		}
+	}
+	reused := p.Make(4, 4)
+	if &reused[0] != &first[0] {
+		t.Fatalf("Reset did not rewind to the first chunk")
+	}
+	for i := range reused {
+		if reused[i] != nil {
+			t.Fatalf("reused memory not zeroed at %d", i)
+		}
+	}
+}
+
+func TestResetPoisonDropsChunks(t *testing.T) {
+	p := Pool[int]{ChunkSize: 4}
+	s := p.Make(4, 4)
+	s[0] = 42
+	p.Reset(true)
+	if s[0] != 0 {
+		t.Fatalf("poison Reset left stale value %d", s[0])
+	}
+	if p.Retained() != 0 {
+		t.Fatalf("poison Reset retained %d elements", p.Retained())
+	}
+	// The pool must still be usable after poisoning.
+	s2 := p.Make(2, 2)
+	if len(s2) != 2 {
+		t.Fatalf("pool unusable after poison Reset")
+	}
+}
+
+func TestGet(t *testing.T) {
+	var p Pool[struct{ a, b int }]
+	x := p.Get()
+	y := p.Get()
+	if x == y {
+		t.Fatalf("Get returned the same address twice")
+	}
+	x.a = 1
+	if y.a != 0 {
+		t.Fatalf("Get allocations overlap")
+	}
+}
+
+func TestSetPoisonRoundTrip(t *testing.T) {
+	prev := SetPoison(true)
+	defer SetPoison(prev)
+	if !Poisoning() {
+		t.Fatalf("SetPoison(true) not visible")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	var p Pool[int]
+	warm := func() {
+		for i := 0; i < 10; i++ {
+			s := p.Make(8, 16)
+			s[0] = i
+		}
+		p.Reset(false)
+	}
+	warm() // allocate chunks
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("steady-state Make/Reset allocates: %.1f allocs/run", allocs)
+	}
+}

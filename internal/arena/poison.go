@@ -1,0 +1,16 @@
+package arena
+
+import "sync/atomic"
+
+// poison controls whether Pool.Reset drops chunks instead of retaining
+// them. It defaults to on under the race detector (poison_race.go) so that
+// ./check.sh's -race pass doubles as a use-after-release hunt, and stays
+// off in production builds where chunk retention is the whole point.
+var poison atomic.Bool
+
+// SetPoison sets the global poison-on-release mode and returns the
+// previous value, for tests that want to scope it.
+func SetPoison(v bool) bool { return poison.Swap(v) }
+
+// Poisoning reports whether poison-on-release is active.
+func Poisoning() bool { return poison.Load() }

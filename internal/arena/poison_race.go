@@ -1,0 +1,8 @@
+//go:build race
+
+package arena
+
+// Under the race detector every Reset poisons: chunks are zeroed and
+// dropped rather than retained, so a pointer kept across a round boundary
+// reads deterministic zero values instead of the next round's data.
+func init() { poison.Store(true) }

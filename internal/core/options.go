@@ -44,6 +44,20 @@ type Options struct {
 	// views report MaintStats.Skipped=1 and journal a skip verdict so
 	// explain output stays truthful. Off by default.
 	SkipDisjointViews bool
+
+	// DisableArena turns off round-scoped arena allocation: every view's
+	// propagation then allocates tuples and cells on the Go heap, exactly as
+	// the pre-arena engine did. The arena is on by default (and compiled out
+	// entirely under the arena_off build tag); arena-on and arena-off rounds
+	// are byte-identical (enforced by the differential tests).
+	DisableArena bool
+
+	// DisableCompaction turns off delta-batch compaction: the primitive
+	// batch is then validated and propagated exactly as submitted, without
+	// cancelling insert+delete pairs, coalescing repeated replaces, or
+	// merging adjacent insert fragments. Compaction is on by default; every
+	// compaction decision is journaled so explain output stays truthful.
+	DisableCompaction bool
 }
 
 // getOpts resolves the variadic options accepted by the maintenance entry

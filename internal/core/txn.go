@@ -34,6 +34,11 @@ type viewStage struct {
 	tx     *deepunion.Txn
 	prep   *xat.PreparedCommit
 	cache  *xat.StateCache
+	// alloc is the view's round arena, registered before propagation starts
+	// so commit and rollback both release it wholesale. Everything that
+	// outlives the round (extents, promoted cache tables, journal records)
+	// was copied out of it by then.
+	alloc *xat.Alloc
 }
 
 // roundTxn makes one MaintainAll round all-or-nothing. Every fallible step
@@ -59,11 +64,17 @@ func (t *roundTxn) commit() {
 	t.store.CommitUndo()
 	for i, v := range t.views {
 		st := &t.stages[i]
-		if !st.staged {
-			continue // view skipped by the relevance filter: nothing changed
+		if st.staged {
+			v.Extent = st.extent
+			st.cache.Install(st.prep)
 		}
-		v.Extent = st.extent
-		st.cache.Install(st.prep)
+		st.tx.Release()
+		st.tx = nil
+		// Release the round arena only after the staged state is installed:
+		// in poison builds the release scrubs the memory, so any surviving
+		// alias would be caught by the differential tests.
+		st.alloc.Release()
+		st.alloc = nil
 	}
 }
 
@@ -78,8 +89,10 @@ func (t *roundTxn) rollback() int {
 		st := &t.stages[i]
 		if st.tx != nil {
 			restored += st.tx.Rollback()
+			st.tx.Release()
 		}
 		st.cache.Rollback()
+		st.alloc.Release()
 		t.stages[i] = viewStage{}
 	}
 	if obs.Enabled() {

@@ -266,6 +266,26 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		}
 	}()
 
+	// --- Compact phase (shared, single-threaded, pure) ---
+	// Normalize the batch before validation: cancel insert+delete pairs,
+	// last-write-wins repeated replaces, splice follow-up inserts into the
+	// fragment they extend. CompactBatch never mutates its input, so the
+	// journal snapshots the ORIGINAL stream and verdict indexes are remapped
+	// back to it — explain numbers primitives identically either way.
+	orig := prims
+	if !opt.DisableCompaction {
+		cspan := root.Child("Compact")
+		compacted, keptIdx, decisions := update.CompactBatch(prims)
+		if len(decisions) > 0 {
+			prims = compacted
+			jrec.SetVerdictMap(keptIdx)
+			for _, d := range decisions {
+				jrec.Compaction(d.Rule, d.Kept, d.Dropped, d.Detail)
+			}
+		}
+		cspan.Arg("in", len(orig)).Arg("out", len(prims)).End()
+	}
+
 	// --- Validate phase (shared, single-threaded) ---
 	vspan := root.Child("Validate")
 	t0 := time.Now()
@@ -278,8 +298,9 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	if jrec.Active() {
 		// Snapshot the primitive stream after validation so pass-class
 		// inserts carry their assigned FlexKeys (explain links delta tuples
-		// back to these keys).
-		jrec.SetPrims(journal.EncodePrims(prims))
+		// back to these keys). Compaction-surviving primitives are the same
+		// pointers, so the original stream reflects their assigned keys too.
+		jrec.SetPrims(journal.EncodePrims(orig))
 	}
 	vspan.Arg("total", batch.Stats.Total).Arg("irrelevant", batch.Stats.Irrelevant).
 		Arg("rewritten", batch.Stats.Rewritten).End()
@@ -328,9 +349,18 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		if opt.CacheBaseTables {
 			cache = v.stateCache()
 		}
+		// Round arena: registered in the view's stage slot before the first
+		// tuple is allocated, so commit and rollback both release it even if
+		// this task dies mid-propagate. NewAlloc returns nil under the
+		// arena_off build tag, which falls back to plain heap allocation.
+		var alloc *xat.Alloc
+		if !opt.DisableArena {
+			alloc = xat.NewAlloc()
+			txn.stages[i].alloc = alloc
+		}
 		pspan := vtrack.Child("Propagate")
 		t0 := time.Now()
-		res, err := xat.PropagateDeltaCached(v.Plan, din, pspan, vrec, cache)
+		res, err := xat.PropagateDeltaAlloc(v.Plan, din, pspan, vrec, cache, alloc)
 		if err != nil {
 			pspan.End()
 			return fmt.Errorf("propagate view %q: %w", v.displayName(i), err)
@@ -348,6 +378,7 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		aspan := vtrack.Child("Apply")
 		t0 = time.Now()
 		tx := deepunion.NewTxn()
+		tx.SetAlloc(alloc) // pre-image log dies with the round arena
 		txn.stages[i].tx = tx
 		txn.stages[i].cache = cache
 		staged, err := deepunion.ApplyTx(append([]*xat.VNode(nil), v.Extent...), res.Roots, &ms.Union, vrec, tx)

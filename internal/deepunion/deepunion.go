@@ -12,6 +12,7 @@ package deepunion
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"xqview/internal/faultinject"
@@ -59,6 +60,17 @@ type applyCtx struct {
 	st    *Stats
 	dirty map[*xat.VNode]bool
 	tx    *Txn
+	// keyBuf backs alloc-free index lookups: node keys are appended here and
+	// looked up as map[string(keyBuf)], which the compiler compiles without
+	// materializing the string. Only inserts pay for a real Key() string.
+	keyBuf []byte
+}
+
+// find looks id up in idx without allocating the key string.
+func (ctx *applyCtx) find(idx map[string]*xat.VNode, id xat.ID) (*xat.VNode, bool) {
+	ctx.keyBuf = id.AppendKey(ctx.keyBuf[:0])
+	n, ok := idx[string(ctx.keyBuf)]
+	return n, ok
 }
 
 // touch records n's pre-image when the pass runs under a transaction.
@@ -147,7 +159,7 @@ func ApplyTx(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.Vi
 	}
 	rootsDirty := false
 	for _, d := range deltas {
-		if ex, ok := idx[d.ID.Key()]; ok {
+		if ex, ok := ctx.find(idx, d.ID); ok {
 			ctx.merge(ex, d)
 			if ex.Count <= 0 {
 				rootsDirty = true
@@ -201,7 +213,7 @@ func (ctx *applyCtx) merge(ex, d *xat.VNode) {
 			aidx[a.ID.Key()] = a
 		}
 		for _, da := range d.Attrs {
-			if ea, ok := aidx[da.ID.Key()]; ok {
+			if ea, ok := ctx.find(aidx, da.ID); ok {
 				ctx.touch(ea)
 				ea.Count += da.Count
 				if da.Mod {
@@ -230,7 +242,7 @@ func (ctx *applyCtx) merge(ex, d *xat.VNode) {
 	if len(d.Children) > 0 {
 		cidx := childIndex(ex)
 		for _, dc := range d.Children {
-			if ec, ok := cidx[dc.ID.Key()]; ok {
+			if ec, ok := ctx.find(cidx, dc.ID); ok {
 				ctx.merge(ec, dc)
 				if ec.Count <= 0 {
 					ctx.dirty[ex] = true
@@ -306,8 +318,8 @@ func insertOrdered(parent *xat.VNode, c *xat.VNode) {
 }
 
 func sortByOrder(ns []*xat.VNode) {
-	sort.SliceStable(ns, func(i, j int) bool {
-		return xat.CompareOrd(ns[i].ID.Order(), ns[j].ID.Order()) < 0
+	slices.SortStableFunc(ns, func(a, b *xat.VNode) int {
+		return xat.CompareOrd(a.ID.Order(), b.ID.Order())
 	})
 }
 

@@ -1,6 +1,8 @@
 package deepunion
 
 import (
+	"sync"
+
 	"xqview/internal/xat"
 )
 
@@ -16,43 +18,65 @@ import (
 // while the nodes behind it stay shared and are protected here.
 type Txn struct {
 	saved map[*xat.VNode]savedNode
+	// alloc, when set, backs the pre-image slices with the round arena: the
+	// log dies with the round on commit, and Rollback promotes every slice
+	// it restores to the heap first (the arena is released right after).
+	alloc *xat.Alloc
 }
 
-// savedNode is the mutable portion of a VNode's pre-image. Slices and the
-// child index are copied at save time: merge appends through the live
-// backing arrays and prune compacts them in place, so an aliased header
-// would see the round's writes.
+// savedNode is the mutable portion of a VNode's pre-image. Slices are
+// copied at save time: merge appends through the live backing arrays and
+// prune compacts them in place, so an aliased header would see the round's
+// writes. The child index is not snapshotted — rollback drops it and the
+// deep union rebuilds it lazily from the restored children.
 type savedNode struct {
 	count    int
 	value    string
 	attrs    []*xat.VNode
 	children []*xat.VNode
-	index    map[string]*xat.VNode
 }
 
-// NewTxn returns an empty extent transaction.
-func NewTxn() *Txn {
+// txnPool recycles Txns (and their grown pre-image maps) across rounds: the
+// touch set of a steady-state round has a stable size, so reusing the map's
+// buckets removes the per-round map regrowth entirely.
+var txnPool = sync.Pool{New: func() any {
 	return &Txn{saved: map[*xat.VNode]savedNode{}}
+}}
+
+// NewTxn returns an empty extent transaction, recycled when available.
+// Callers hand it back with Release once the round is over.
+func NewTxn() *Txn {
+	return txnPool.Get().(*Txn)
 }
+
+// Release clears the log (keeping the map's buckets) and returns the Txn to
+// the recycler. Call only after commit or Rollback — a released Txn retains
+// no pre-images, so it can no longer restore anything.
+func (t *Txn) Release() {
+	if t == nil {
+		return
+	}
+	clear(t.saved)
+	t.alloc = nil
+	txnPool.Put(t)
+}
+
+// SetAlloc lends the round arena to the transaction for its pre-image log.
+// Must be called before the first touch; the arena must stay live until
+// after commit or Rollback.
+func (t *Txn) SetAlloc(a *xat.Alloc) { t.alloc = a }
 
 // touch saves n's pre-image on first touch.
 func (t *Txn) touch(n *xat.VNode) {
 	if _, ok := t.saved[n]; ok {
 		return
 	}
-	e := savedNode{
+	t.saved[n] = savedNode{
 		count:    n.Count,
 		value:    n.Value,
-		attrs:    append([]*xat.VNode(nil), n.Attrs...),
-		children: append([]*xat.VNode(nil), n.Children...),
+		attrs:    t.alloc.CopyVNodes(n.Attrs),
+		children: t.alloc.CopyVNodes(n.Children),
 	}
-	if n.Index != nil {
-		e.index = make(map[string]*xat.VNode, len(n.Index))
-		for k, v := range n.Index {
-			e.index[k] = v
-		}
-	}
-	t.saved[n] = e
 }
 
 // Touched returns how many extent nodes have pre-images recorded.
@@ -67,11 +91,28 @@ func (t *Txn) Rollback() int {
 	for node, e := range t.saved {
 		node.Count = e.count
 		node.Value = e.value
-		node.Attrs = e.attrs
-		node.Children = e.children
-		node.Index = e.index
+		if t.alloc != nil {
+			// The pre-image slices live in the round arena, which the owner
+			// releases right after this rollback — promote what we restore.
+			node.Attrs = heapVNodes(e.attrs)
+			node.Children = heapVNodes(e.children)
+		} else {
+			node.Attrs = e.attrs
+			node.Children = e.children
+		}
+		// The round's merges mutated the child index in place; dropping it
+		// restores consistency, and the deep union rebuilds it on next use.
+		node.Index = nil
 		n++
 	}
-	t.saved = map[*xat.VNode]savedNode{}
+	clear(t.saved)
 	return n
+}
+
+// heapVNodes copies an arena-backed pointer slice to the heap.
+func heapVNodes(s []*xat.VNode) []*xat.VNode {
+	if s == nil {
+		return nil
+	}
+	return append([]*xat.VNode(nil), s...)
 }

@@ -238,6 +238,23 @@ func explainInView(r *Round, vl *ViewLineage, key string) (string, bool) {
 			}
 			b.WriteByte('\n')
 		}
+		// Primitives dropped by pre-validation compaction carry no verdict;
+		// say what absorbed them so the lineage stays truthful.
+		for _, c := range r.Compactions {
+			for _, d := range c.Dropped {
+				if d != pi {
+					continue
+				}
+				fmt.Fprintf(&b, "    compacted: %s", c.Rule)
+				if c.Kept >= 0 {
+					fmt.Fprintf(&b, " into primitive #%d", c.Kept)
+				}
+				if c.Detail != "" {
+					fmt.Fprintf(&b, " (%s)", c.Detail)
+				}
+				b.WriteByte('\n')
+			}
+		}
 	}
 	if len(seen) == 0 && len(r.Prims) > 0 {
 		fmt.Fprintf(&b, "  (no primitive in round %d anchors this key directly)\n", r.ID)

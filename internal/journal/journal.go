@@ -78,6 +78,17 @@ type Verdict struct {
 	Detail string `json:"detail,omitempty"` // rewrite anchor or rejection error
 }
 
+// CompactionRecord is one pre-validation batch-normalization decision
+// (update.CompactBatch). Indexes refer to Round.Prims, i.e. the original
+// batch, so explain output numbers primitives identically whether or not
+// compaction ran.
+type CompactionRecord struct {
+	Rule    string `json:"rule"`             // "coalesce", "merge" or "cancel"
+	Kept    int    `json:"kept"`             // absorbing primitive, -1 when none survives
+	Dropped []int  `json:"dropped"`          // primitives removed before validation
+	Detail  string `json:"detail,omitempty"` // target description
+}
+
 // TupleRecord is one delta tuple emitted by an operator: the lineage keys
 // of its cells, its signed derivation count, its kind, and the FlexKey of
 // the update-region anchor it originates from (the primitive's key).
@@ -124,12 +135,16 @@ type ViewLineage struct {
 
 // Round is the journal of one maintenance batch.
 type Round struct {
-	ID       uint64        `json:"id"`
-	Views    []string      `json:"views"`
-	Prims    []PrimRecord  `json:"prims,omitempty"`
-	Verdicts []Verdict     `json:"verdicts,omitempty"`
-	PerView  []ViewLineage `json:"lineage,omitempty"`
-	Error    string        `json:"error,omitempty"` // set when the round failed
+	ID    uint64       `json:"id"`
+	Views []string     `json:"views"`
+	Prims []PrimRecord `json:"prims,omitempty"`
+	// Compactions records batch-normalization decisions made before
+	// validation. Prims always holds the ORIGINAL batch; primitives listed
+	// in a Dropped set never reached validation and carry no verdict.
+	Compactions []CompactionRecord `json:"compactions,omitempty"`
+	Verdicts    []Verdict          `json:"verdicts,omitempty"`
+	PerView     []ViewLineage      `json:"lineage,omitempty"`
+	Error       string             `json:"error,omitempty"` // set when the round failed
 	// Aborted marks a round whose failure was rolled back transactionally:
 	// no view extent, source document or cache entry retains any effect of
 	// it. Partial lineage records are kept for debugging, but Explain must
@@ -269,6 +284,9 @@ type RoundRec struct {
 
 	mu        sync.Mutex // guards Verdicts (validate is single-threaded, but cheap insurance)
 	committed bool
+	// vmap remaps validation's primitive indexes (the compacted batch) back
+	// to positions in Round.Prims (the original batch). Nil = identity.
+	vmap []int
 }
 
 // Active reports whether the recorder records anything; use it to skip
@@ -284,12 +302,38 @@ func (rr *RoundRec) SetPrims(prims []PrimRecord) {
 	rr.r.Prims = prims
 }
 
+// SetVerdictMap installs a remapping from the primitive indexes validation
+// sees (the compacted batch) to positions in the journaled primitive stream
+// (the original batch). Call it before validation when the round's batch was
+// compacted; without it verdict indexes are taken as-is.
+func (rr *RoundRec) SetVerdictMap(m []int) {
+	if rr == nil {
+		return
+	}
+	rr.vmap = m
+}
+
+// Compaction records one batch-normalization decision.
+func (rr *RoundRec) Compaction(rule string, kept int, dropped []int, detail string) {
+	if rr == nil {
+		return
+	}
+	rr.mu.Lock()
+	rr.r.Compactions = append(rr.r.Compactions, CompactionRecord{
+		Rule: rule, Kept: kept, Dropped: append([]int(nil), dropped...), Detail: detail,
+	})
+	rr.mu.Unlock()
+}
+
 // Verdict records the Validate outcome of primitive i.
 func (rr *RoundRec) Verdict(i int, action, path, detail string) {
 	if rr == nil {
 		return
 	}
 	rr.mu.Lock()
+	if rr.vmap != nil && i < len(rr.vmap) {
+		i = rr.vmap[i]
+	}
 	rr.r.Verdicts = append(rr.r.Verdicts, Verdict{Prim: i, Action: action, Path: path, Detail: detail})
 	rr.mu.Unlock()
 }
@@ -301,6 +345,9 @@ func (rr *RoundRec) AmendVerdict(i int, detail string) {
 		return
 	}
 	rr.mu.Lock()
+	if rr.vmap != nil && i < len(rr.vmap) {
+		i = rr.vmap[i]
+	}
 	for k := len(rr.r.Verdicts) - 1; k >= 0; k-- {
 		if rr.r.Verdicts[k].Prim == i {
 			rr.r.Verdicts[k].Detail = detail

@@ -244,6 +244,48 @@ func TestExplainSyntheticLineage(t *testing.T) {
 	}
 }
 
+// TestExplainCompactionAnnotation pins the compaction-aware rendering: a
+// primitive dropped before validation carries no verdict but is annotated
+// with the rule and absorbing primitive, and verdict indexes recorded
+// against the compacted batch are remapped into the original stream.
+func TestExplainCompactionAnnotation(t *testing.T) {
+	j := New(8)
+	rr := j.Begin([]string{"view-0"}, 2)
+	// Original batch: #0 replace (dropped by coalesce), #1 replace (kept).
+	rr.SetPrims([]PrimRecord{
+		{Kind: "replace", Doc: "bib.xml", Key: "b.b.x", NewValue: "v1"},
+		{Kind: "replace", Doc: "bib.xml", Key: "b.b.x", NewValue: "v2"},
+	})
+	rr.SetVerdictMap([]int{1}) // validation saw only the survivor as index 0
+	rr.Compaction("coalesce", 1, []int{0}, "replace b.b.x: last write wins")
+	rr.Verdict(0, "accept", "bib/book/title", "")
+	vr := rr.View(0)
+	vr.Fusion(Fusion{ViewKey: "c:9:b:b.b.x", Sources: []string{"b.b.x"}, Mods: 1})
+	rr.Commit(nil)
+
+	r := j.Rounds()[0]
+	if len(r.Verdicts) != 1 || r.Verdicts[0].Prim != 1 {
+		t.Fatalf("verdict not remapped to the original index: %+v", r.Verdicts)
+	}
+	text, err := j.Explain("view-0", "b.b.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"primitive #0", "primitive #1", "verdict: accept",
+		"compacted: coalesce into primitive #1 (replace b.b.x: last write wins)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, text)
+		}
+	}
+	// The dropped primitive must not claim a validation verdict.
+	drop := text[strings.Index(text, "primitive #0"):strings.Index(text, "primitive #1")]
+	if strings.Contains(drop, "verdict:") {
+		t.Fatalf("dropped primitive carries a verdict:\n%s", text)
+	}
+}
+
 func TestMentionsKey(t *testing.T) {
 	cases := []struct {
 		rec, target string

@@ -1,0 +1,162 @@
+package update
+
+import (
+	"fmt"
+
+	"xqview/internal/flexkey"
+	"xqview/internal/xmldoc"
+)
+
+// Compaction is one batch-normalization decision made by CompactBatch. It
+// references primitives by their position in the ORIGINAL batch, so journal
+// and explain output keep round-local numbering stable whether or not
+// compaction ran.
+type Compaction struct {
+	// Rule is "coalesce" (repeated Replace of one node collapsed to the
+	// last write), "merge" (an insert into a same-batch inserted fragment
+	// spliced into that fragment), or "cancel" (insert and delete of the
+	// same key annihilated).
+	Rule    string
+	Kept    int    // original index of the absorbing primitive; -1 when nothing survives
+	Dropped []int  // original indexes of the primitives removed from the batch
+	Detail  string // human-readable target description
+}
+
+// CompactBatch normalizes a primitive batch before validation: the returned
+// batch is semantically equivalent under sequential application but smaller,
+// so every downstream phase (SAPT classification, propagation, journaling,
+// source refresh) does proportionally less work.
+//
+// Three rules fire, in order:
+//
+//   - coalesce: repeated Replace primitives on one (doc, key) collapse into
+//     the last write, unless the batch also deletes the node or one of its
+//     ancestors (then order against the delete matters and the run is left
+//     alone). This is the only rule that fires on batches plain validation
+//     accepts.
+//   - merge: a position-less, key-less Insert whose Parent is the assigned
+//     Key of an earlier Insert in the batch is spliced into that insert's
+//     fragment (appended last, exactly where sequential application would
+//     put it). Plain validation rejects such batches — the parent is not in
+//     the base store — so merging widens the accepted update language the
+//     way FLUX-style update composition does.
+//   - cancel: a Delete of a Key some earlier Insert in the batch assigns
+//     annihilates with it; neither reaches validation.
+//
+// Survivors keep their original *Primitive pointers except merge targets,
+// which are replaced by clones (fragment included): CompactBatch never
+// mutates its input, so a failed round can re-run it on the same slice and
+// reach the same decisions. keptIdx maps each returned primitive back to
+// its original position. When no rule fires, prims is returned as-is with a
+// nil decision list.
+func CompactBatch(prims []*Primitive) (kept []*Primitive, keptIdx []int, decisions []Compaction) {
+	n := len(prims)
+	dropped := make([]bool, n)
+	cur := make([]*Primitive, n)
+	copy(cur, prims)
+
+	// coalesce — scan in batch order so decisions are deterministic.
+	type dk struct {
+		doc string
+		key flexkey.Key
+	}
+	reps := map[dk][]int{}
+	var order []dk
+	for i, p := range prims {
+		if p.Kind != Replace {
+			continue
+		}
+		k := dk{p.Doc, p.Key}
+		if len(reps[k]) == 0 {
+			order = append(order, k)
+		}
+		reps[k] = append(reps[k], i)
+	}
+	for _, k := range order {
+		idxs := reps[k]
+		if len(idxs) < 2 || deleteGuards(prims, k.doc, k.key) {
+			continue
+		}
+		last := idxs[len(idxs)-1]
+		for _, i := range idxs[:len(idxs)-1] {
+			dropped[i] = true
+		}
+		decisions = append(decisions, Compaction{
+			Rule: "coalesce", Kept: last, Dropped: idxs[:len(idxs)-1],
+			Detail: fmt.Sprintf("replace %s: last write wins", k.key),
+		})
+	}
+
+	// merge — splice follow-up inserts into the fragment they extend.
+	for i, p := range prims {
+		if dropped[i] || p.Kind != Insert || p.Key != "" || p.After != "" || p.Before != "" {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			q := cur[j]
+			if dropped[j] || q.Kind != Insert || q.Doc != p.Doc || q.Key == "" || q.Key != p.Parent {
+				continue
+			}
+			if cur[j] == prims[j] {
+				cp := *q
+				cp.Frag = q.Frag.Clone()
+				cur[j] = &cp
+			}
+			frag := p.Frag.Clone()
+			if frag.Kind == xmldoc.Attr {
+				cur[j].Frag.Attrs = append(cur[j].Frag.Attrs, frag)
+			} else {
+				cur[j].Frag.Children = append(cur[j].Frag.Children, frag)
+			}
+			dropped[i] = true
+			decisions = append(decisions, Compaction{
+				Rule: "merge", Kept: j, Dropped: []int{i},
+				Detail: fmt.Sprintf("spliced into insert %s", q.Key),
+			})
+			break
+		}
+	}
+
+	// cancel — an insert and the delete of its key annihilate.
+	for i, p := range prims {
+		if dropped[i] || p.Kind != Delete {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			q := cur[j]
+			if dropped[j] || q.Kind != Insert || q.Doc != p.Doc || q.Key == "" || q.Key != p.Key {
+				continue
+			}
+			dropped[i], dropped[j] = true, true
+			decisions = append(decisions, Compaction{
+				Rule: "cancel", Kept: -1, Dropped: []int{j, i},
+				Detail: fmt.Sprintf("insert+delete of %s", p.Key),
+			})
+			break
+		}
+	}
+
+	if len(decisions) == 0 {
+		return prims, nil, nil
+	}
+	kept = make([]*Primitive, 0, n)
+	keptIdx = make([]int, 0, n)
+	for i, p := range cur {
+		if !dropped[i] {
+			kept = append(kept, p)
+			keptIdx = append(keptIdx, i)
+		}
+	}
+	return kept, keptIdx, decisions
+}
+
+// deleteGuards reports whether the batch deletes key or one of its
+// ancestors, in which case Replace runs on key must not be reordered.
+func deleteGuards(prims []*Primitive, doc string, key flexkey.Key) bool {
+	for _, p := range prims {
+		if p.Kind == Delete && p.Doc == doc && flexkey.IsSelfOrAncestorOf(p.Key, key) {
+			return true
+		}
+	}
+	return false
+}

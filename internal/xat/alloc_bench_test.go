@@ -1,0 +1,188 @@
+package xat
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqview/internal/arena"
+	"xqview/internal/flexkey"
+	"xqview/internal/obs"
+	"xqview/internal/xmldoc"
+)
+
+// The whole point of the round arena is that the delta engine's per-tuple
+// constructors stop touching the heap once the pools are warm: every Get is
+// a bump-pointer advance into a retained chunk and Release rewinds it. These
+// tests pin that contract with testing.AllocsPerRun; the benchmarks report
+// allocs/op so check.sh can gate regressions.
+
+// tupleSink keeps the measured rounds from being optimized away.
+var tupleSink *Tuple
+
+// tupleRound is one steady-state constructor round: borrow the recycled
+// arena, build a chain of tuples through the hot constructors (newTuple,
+// extend, extendCells, cell1, vnode, makeInt32, spanMap), release.
+func tupleRound() {
+	a := NewAlloc()
+	tp := a.newTuple(a.makeCells(1, 1))
+	for i := 0; i < 64; i++ {
+		tp = extend(a, tp, a.cell1(ValueItem("v", 1)))
+	}
+	tp = extendCells(a, tp, a.makeCells(2, 2))
+	for i := 0; i < 16; i++ {
+		_ = a.vnode(VNode{Name: "x"})
+		_ = a.makeInt32(8, 8)
+	}
+	m := a.spanMap(8)
+	m["k"] = 1
+	tupleSink = tp
+	a.Release()
+}
+
+// TestArenaSteadyStateZeroAllocs asserts the zero-alloc contract for the
+// per-tuple constructors: after a warm-up that grows the chunks, a full
+// allocate-then-release round performs no heap allocation at all.
+func TestArenaSteadyStateZeroAllocs(t *testing.T) {
+	if !arenaEnabled {
+		t.Skip("built with -tags arena_off")
+	}
+	if arena.Poisoning() {
+		t.Skip("poison mode drops chunks at Release, so rounds re-allocate by design")
+	}
+	for i := 0; i < 4; i++ {
+		tupleRound() // grow chunks, spanMaps, and the sync.Pool shard
+	}
+	if avg := testing.AllocsPerRun(200, tupleRound); avg != 0 {
+		t.Fatalf("steady-state constructor round allocates: %.2f allocs/run, want 0", avg)
+	}
+}
+
+// TestDeltaNavArenaAllocs asserts the deltaNav propagation path is
+// allocation-gated per tuple: with the arena on, growing the round's delta
+// (more inserted books → more tuples through NavUnnest/NavCollection/Tagger)
+// must cost a fraction of the heap path's per-tuple allocations. Measured
+// over a 2-insert and a 32-insert batch with the identical plan and base.
+func TestDeltaNavArenaAllocs(t *testing.T) {
+	if !arenaEnabled {
+		t.Skip("built with -tags arena_off")
+	}
+	if arena.Poisoning() {
+		t.Skip("poison mode drops chunks at Release, so rounds re-allocate by design")
+	}
+	plan := newDeltaFixture(t, "").plan
+	const small, big = 2, 32
+	run := func(inserts int, withArena bool) func() {
+		in := deltaNavInput(t, inserts)
+		return func() {
+			var a *Alloc
+			if withArena {
+				a = NewAlloc()
+			}
+			if _, err := PropagateDeltaAlloc(plan, in, obs.Span{}, nil, nil, a); err != nil {
+				t.Fatal(err)
+			}
+			a.Release()
+		}
+	}
+	onSmallF, onBigF := run(small, true), run(big, true)
+	offSmallF, offBigF := run(small, false), run(big, false)
+	for i := 0; i < 4; i++ {
+		onSmallF()
+		onBigF()
+	}
+	onSmall := testing.AllocsPerRun(50, onSmallF)
+	onBig := testing.AllocsPerRun(50, onBigF)
+	offSmall := testing.AllocsPerRun(50, offSmallF)
+	offBig := testing.AllocsPerRun(50, offBigF)
+	onPerTuple := (onBig - onSmall) / float64(big-small)
+	offPerTuple := (offBig - offSmall) / float64(big-small)
+	t.Logf("deltaNav allocs/round: arena %0.f→%.0f (%.2f/insert), heap %.0f→%.0f (%.2f/insert)",
+		onSmall, onBig, onPerTuple, offSmall, offBig, offPerTuple)
+	if offPerTuple <= 0 {
+		t.Fatalf("heap arm shows no per-insert cost (%.2f): measurement is vacuous", offPerTuple)
+	}
+	// The residual arena-arm cost is fragment skeletons and value strings,
+	// which legitimately live on the heap; the tuple/cell/vnode machinery
+	// itself is zero-alloc (pinned exactly by TestArenaSteadyStateZeroAllocs).
+	if onPerTuple >= offPerTuple/2 {
+		t.Fatalf("arena per-insert cost %.2f not well below heap %.2f", onPerTuple, offPerTuple)
+	}
+	if onBig >= offBig {
+		t.Fatalf("arena round (%.0f allocs) not cheaper than heap round (%.0f)", onBig, offBig)
+	}
+}
+
+// deltaNavInput builds a reusable DeltaInput that inserts the given number
+// of new books under the root of a fixed 8-book bib, one region per insert
+// (PropagateDelta treats its input as read-only, so runs may share one).
+func deltaNavInput(t testing.TB, inserts int) *DeltaInput {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&sb, `<book year="1994"><title>T%d</title></book>`, i)
+	}
+	sb.WriteString("</bib>")
+	s := xmldoc.NewStore()
+	root, err := s.Load("bib.xml", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := xmldoc.ChildElems(s, root, "book")
+	overlay := xmldoc.NewStore()
+	ur := xmldoc.NewUpdatedReader(s, overlay)
+	regions := make([]*Region, 0, inserts)
+	anchor := elems[len(elems)-1]
+	for i := 0; i < inserts; i++ {
+		k := flexkey.SiblingBetween(root, anchor, "")
+		anchor = k
+		overlay.StageFragment(k, xmldoc.Elem("book",
+			xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("NEW%d", i)))))
+		ur.InsertedUnder[root] = append(ur.InsertedUnder[root], k)
+		regions = append(regions, &Region{Mode: RegionInsert, Anchor: k, Parent: root})
+	}
+	return &DeltaInput{
+		Base: s, New: ur,
+		Regions: map[string][]*Region{"bib.xml": regions},
+	}
+}
+
+// BenchmarkTupleConstructors measures the raw constructor round (64 extends
+// plus vnode/int32/spanMap traffic) with allocs/op reported.
+func BenchmarkTupleConstructors(b *testing.B) {
+	tupleRound()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tupleRound()
+	}
+}
+
+// BenchmarkDeltaNav measures one insert-region propagation through the
+// fixture plan, arena-backed versus heap.
+func BenchmarkDeltaNav(b *testing.B) {
+	plan := newDeltaFixture(b, "").plan
+	in := deltaNavInput(b, 16)
+	for _, arm := range []struct {
+		name  string
+		arena bool
+	}{{"arena=on", true}, {"arena=off", false}} {
+		b.Run(arm.name, func(b *testing.B) {
+			if arm.arena && !arenaEnabled {
+				b.Skip("built with -tags arena_off")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var a *Alloc
+				if arm.arena {
+					a = NewAlloc()
+				}
+				if _, err := PropagateDeltaAlloc(plan, in, obs.Span{}, nil, nil, a); err != nil {
+					b.Fatal(err)
+				}
+				a.Release()
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build arena_off
+
+package xat
+
+// arena_off build: NewAlloc returns nil and every allocation site falls
+// back to the plain heap.
+const arenaEnabled = false

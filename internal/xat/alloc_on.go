@@ -1,0 +1,10 @@
+//go:build !arena_off
+
+package xat
+
+// arenaEnabled gates round-scoped arena allocation at build time. The
+// default build uses the arena; `go build -tags arena_off` compiles every
+// NewAlloc call to nil, degrading all allocation sites to the plain heap
+// (the compile-time counterpart of the core.Options.DisableArena runtime
+// escape hatch).
+const arenaEnabled = true

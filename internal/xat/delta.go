@@ -77,10 +77,19 @@ func PropagateDeltaObserved(p *Plan, in *DeltaInput, parent obs.Span, rec *journ
 // deltas are staged on the cache so the caller can Commit them once the
 // apply phase succeeds. A nil cache reproduces the uncached engine exactly.
 func PropagateDeltaCached(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache) (*DeltaResult, error) {
+	return PropagateDeltaAlloc(p, in, parent, rec, cache, nil)
+}
+
+// PropagateDeltaAlloc is PropagateDeltaCached with an optional round arena:
+// all intermediate tuples, cells and table slices come from alloc and die
+// wholesale when the owning round transaction releases it. The state cache
+// is told the round ran arena-backed so it deep-copies staged tables out at
+// its Prepare boundary. A nil alloc reproduces heap allocation exactly.
+func PropagateDeltaAlloc(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache, alloc *Alloc) (*DeltaResult, error) {
 	if err := fpPropagate.Fire(); err != nil {
 		return nil, err
 	}
-	cache.begin()
+	cache.begin(alloc != nil)
 	e := &deltaEngine{
 		plan:     p,
 		in:       in,
@@ -91,12 +100,42 @@ func PropagateDeltaCached(p *Plan, in *DeltaInput, parent obs.Span, rec *journal
 		span:     parent,
 		rec:      rec,
 	}
+	e.env.alloc = alloc
+	e.baseEnv.alloc = alloc
+	if cache != nil {
+		// Recycle the cross-round value-memo maps: the base map persists
+		// across rounds (Install prunes it by region), the new-store map is
+		// per-round. The new-store env additionally reads through to the
+		// persistent map for keys no region of this round can affect — those
+		// read identically in both stores.
+		e.baseEnv.vals, e.env.vals = cache.scratchVals()
+		e.env.baseVals = e.baseEnv.vals
+		for _, rgs := range in.Regions {
+			for _, r := range rgs {
+				e.env.dirty = append(e.env.dirty, r.Anchor)
+			}
+		}
+	}
 	if rec.Active() {
 		e.recOut = map[int][]string{}
 	}
 	// Base and delta runs share the skeleton registry so delta tuples that
 	// carry base-constructed items can be dereferenced.
 	e.env.Cons = e.baseEnv.Cons
+	// Per-tuple construction environment over the pre-update store: shares
+	// the skeleton registry and stats with the delta env, and the value memo
+	// with the base env (same reader).
+	e.tupEnvBase = &Env{Store: in.Base, Cons: e.env.Cons, Stats: e.env.Stats,
+		vals: e.baseEnv.vals, alloc: alloc}
+	// The region-pruning predicate is allocated once per run and rebound per
+	// tuple via keepRegion, so patch navigation closes over nothing.
+	e.keepFn = func(xk flexkey.Key) bool {
+		r := e.keepRegion
+		if r.Mode != RegionModify && flexkey.IsSelfOrAncestorOf(r.Anchor, xk) {
+			return true
+		}
+		return flexkey.IsSelfOrAncestorOf(xk, r.Anchor)
+	}
 	root := p.Root
 	if root.Kind == OpExpose {
 		root = root.Inputs[0]
@@ -130,6 +169,14 @@ type deltaEngine struct {
 	span     obs.Span         // parent span for per-operator tracing (zero = off)
 	rec      *journal.ViewRec // provenance recorder (nil = off)
 	recOut   map[int][]string // op ID -> distinct output lineage keys recorded
+
+	// Reusable per-engine scratch, so steady-state rounds allocate nothing:
+	tupEnvBase *Env    // envFor result for pre-update tuples
+	navB       navBufs // navigation buffers for deltaNav
+	dColl      Cell    // deltaNav delta-collection scratch
+	pColl      Cell    // deltaNav patch-collection scratch
+	keepRegion *Region // region captured by keepFn
+	keepFn     func(flexkey.Key) bool
 }
 
 // base executes the sub-plan rooted at o over the pre-update store, or
@@ -175,9 +222,19 @@ func (e *deltaEngine) readerFor(tp *Tuple) xmldoc.Reader {
 	return e.in.Base
 }
 
-// envFor wraps readerFor in an Env sharing the delta skeleton registry.
+// envFor picks the construction environment matching readerFor(tp): the
+// delta env for post-update content, the shared pre-update env otherwise.
 func (e *deltaEngine) envFor(tp *Tuple) *Env {
-	return &Env{Store: e.readerFor(tp), Cons: e.env.Cons, Stats: e.env.Stats}
+	if tp.Region != nil {
+		if tp.Region.Mode == RegionInsert {
+			return e.env
+		}
+		return e.tupEnvBase
+	}
+	if tp.Count >= 0 && tp.Kind == Delta {
+		return e.env
+	}
+	return e.tupEnvBase
 }
 
 func empty(t *Table) bool { return t == nil || len(t.Tuples) == 0 }
@@ -283,13 +340,18 @@ func (e *deltaEngine) recordOp(o *Op, t *Table) {
 func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 	switch o.Kind {
 	case OpSource:
-		out := NewTable(o.OutCols...)
+		a := e.env.alloc
+		out := e.env.outTable(o)
 		rootKey, ok := e.in.Base.Root(o.Doc)
 		if !ok {
 			return nil, fmt.Errorf("xat: document %q not loaded", o.Doc)
 		}
 		for _, r := range e.in.Regions[o.Doc] {
-			out.Append(&Tuple{Cells: []Cell{{NodeItem(rootKey, 0)}}, Count: 1, Kind: Patch, Region: r})
+			cells := a.makeCells(1, 1)
+			cells[0] = a.cell1(NodeItem(rootKey, 0))
+			t := a.tuple()
+			*t = Tuple{Cells: cells, Count: 1, Kind: Patch, Region: r}
+			out.Append(t)
 		}
 		return out, nil
 
@@ -312,7 +374,7 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewTable(o.OutCols...)
+		out := e.env.outTable(o)
 		for _, tp := range din.Tuples {
 			// Predicates are evaluated over the post-update reader: it
 			// resolves inserted keys, keeps deleted subtrees readable, and
@@ -339,7 +401,7 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewTable(o.OutCols...)
+		out := e.env.outTable(o)
 		out.Tuples = din.Tuples
 		return out, nil
 
@@ -348,11 +410,16 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewTable(o.OutCols...)
+		a := e.env.alloc
+		out := e.env.outTable(o)
 		ci := din.Col(o.InCol)
 		for _, tp := range din.Tuples {
+			src := tp.Cells[ci]
 			coll := Cell{}
-			for _, it := range tp.Cells[ci] {
+			if len(src) > 0 {
+				coll = a.makeItems(0, len(src))
+			}
+			for _, it := range src {
 				if o.Unordered {
 					it.ID.Ord = NoOrd
 				} else {
@@ -361,7 +428,11 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 				it.Count = tp.Count
 				coll = append(coll, it)
 			}
-			out.Append(&Tuple{Cells: []Cell{coll}, Count: tp.Count, Kind: tp.Kind, Region: tp.Region})
+			cells := a.makeCells(1, 1)
+			cells[0] = coll
+			t := a.tuple()
+			*t = Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+			out.Append(t)
 		}
 		return out, nil
 
@@ -370,15 +441,18 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewTable(o.OutCols...)
+		a := e.env.alloc
+		t0 := time.Now()
+		out := e.env.outTable(o)
 		for _, tp := range din.Tuples {
 			if patternEmpty(o, din, tp) {
-				out.Append(extend(tp, Cell(nil)))
+				out.Append(extend(a, tp, nil))
 				continue
 			}
 			it := constructNode(o, e.envFor(tp), din, tp)
-			out.Append(extend(tp, Cell{it}))
+			out.Append(extend(a, tp, a.cell1(it)))
 		}
+		e.env.Stats.IdentGen += time.Since(t0)
 		return out, nil
 
 	case OpXMLUnion, OpXMLUnique, OpXMLDifference, OpXMLIntersection, OpName:
@@ -397,17 +471,20 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewTable(o.OutCols...)
+		a := e.env.alloc
+		out := e.env.outTable(o)
 		nl := len(o.Inputs[0].OutCols)
 		nr := len(o.Inputs[1].OutCols)
+		pad := a.makeCells(nr, nr)
 		for _, tp := range dl.Tuples {
-			out.Append(extend(tp, make([]Cell, nr)...))
+			out.Append(extendCells(a, tp, pad))
 		}
 		for _, tp := range dr.Tuples {
-			cells := make([]Cell, 0, nl+nr)
-			cells = append(cells, make([]Cell, nl)...)
-			cells = append(cells, tp.Cells...)
-			out.Append(&Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region})
+			cells := a.makeCells(nl+nr, nl+nr)
+			copy(cells[nl:], tp.Cells)
+			t := a.tuple()
+			*t = Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+			out.Append(t)
 		}
 		return out, nil
 
@@ -424,11 +501,13 @@ func (e *deltaEngine) delta1(o *Op) (*Table, error) {
 // targets inside the update region become delta content; ancestors of the
 // region stay patches; unrelated targets are dropped (Ch 7.1).
 func (e *deltaEngine) deltaNav(o *Op, din *Table, collection bool) *Table {
-	out := NewTable(o.OutCols...)
+	a := e.env.alloc
+	out := e.env.outTable(o)
 	ci := din.Col(o.InCol)
+	deltaColl, patchColl := e.dColl[:0], e.pColl[:0]
 	for _, tp := range din.Tuples {
 		if collection && tp.Cells[ci] == nil {
-			out.Append(extend(tp, Cell(nil)))
+			out.Append(extend(a, tp, nil))
 			continue
 		}
 		// Delta tuples may pair cells from several update regions (after
@@ -449,19 +528,15 @@ func (e *deltaEngine) deltaNav(o *Op, din *Table, collection bool) *Table {
 		var anchor flexkey.Key
 		if !collection && tp.Kind == Patch && r != nil && !AblationNoNavPruning {
 			anchor = r.Anchor
-			keep = func(xk flexkey.Key) bool {
-				if r.Mode != RegionModify && flexkey.IsSelfOrAncestorOf(r.Anchor, xk) {
-					return true
-				}
-				return flexkey.IsSelfOrAncestorOf(xk, r.Anchor)
-			}
+			e.keepRegion = r
+			keep = e.keepFn
 		}
-		var deltaColl, patchColl Cell
+		deltaColl, patchColl = deltaColl[:0], patchColl[:0]
 		for _, it := range tp.Cells[ci] {
 			if it.ID.Body == "" || it.ID.Constructed {
 				continue
 			}
-			for _, x := range evalPathItemsPruned(rd, flexkey.Key(it.ID.Body), o.Path, keep, anchor) {
+			for _, x := range evalPathItemsBuf(rd, flexkey.Key(it.ID.Body), o.Path, o.navSingles, keep, anchor, &e.navB) {
 				if tp.Kind == Delta || r == nil {
 					deltaColl = append(deltaColl, x)
 					continue
@@ -485,15 +560,23 @@ func (e *deltaEngine) deltaNav(o *Op, din *Table, collection bool) *Table {
 		if collection {
 			// One output tuple per input tuple; new members inside the
 			// region ride on the (patch) tuple and are signed by the region
-			// at materialization time.
-			coll := append(append(Cell{}, patchColl...), deltaColl...)
-			if len(coll) > 0 || tp.Kind == Delta {
-				out.Append(extend(tp, coll))
+			// at materialization time. An empty (but present) input cell
+			// stays a non-nil empty collection, never a null padding.
+			n := len(patchColl) + len(deltaColl)
+			if n == 0 {
+				if tp.Kind == Delta {
+					out.Append(extend(a, tp, Cell{}))
+				}
+				continue
 			}
+			coll := a.makeItems(n, n)
+			copy(coll, patchColl)
+			copy(coll[len(patchColl):], deltaColl)
+			out.Append(extend(a, tp, coll))
 			continue
 		}
 		for _, x := range deltaColl {
-			nt := extend(tp, Cell{x})
+			nt := extend(a, tp, a.cell1(x))
 			if tp.Kind == Patch {
 				nt.Kind = Delta
 				nt.Count = tp.Count * r.Sign()
@@ -501,9 +584,10 @@ func (e *deltaEngine) deltaNav(o *Op, din *Table, collection bool) *Table {
 			out.Append(nt)
 		}
 		for _, x := range patchColl {
-			out.Append(extend(tp, Cell{x}))
+			out.Append(extend(a, tp, a.cell1(x)))
 		}
 	}
+	e.dColl, e.pColl = deltaColl[:0], patchColl[:0]
 	return out
 }
 
@@ -535,7 +619,8 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := NewTable(o.OutCols...)
+	a := e.env.alloc
+	out := e.env.outTable(o)
 	if empty(dl) && empty(dr) {
 		return out, nil
 	}
@@ -544,8 +629,8 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 	// Base sides are only derived when a propagation equation needs them
 	// (an inner join with updates on one side leaves the other side's base
 	// table uncomputed).
-	bl := NewTable(o.Inputs[0].OutCols...)
-	br := NewTable(o.Inputs[1].OutCols...)
+	bl := e.env.outTable(o.Inputs[0])
+	br := e.env.outTable(o.Inputs[1])
 	if len(drDelta)+len(drPatch) > 0 || o.Kind == OpLOJ {
 		bl, err = e.base(o.Inputs[0])
 		if err != nil {
@@ -559,15 +644,10 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 		}
 	}
 
-	pair := func(lt, rt *Tuple) *Tuple {
-		cells := make([]Cell, 0, len(lt.Cells)+len(rt.Cells))
-		cells = append(cells, lt.Cells...)
-		cells = append(cells, rt.Cells...)
-		return &Tuple{Cells: cells, Count: lt.Count * rt.Count,
-			Kind: mergeKind(lt, rt), Region: mergeRegion(lt, rt)}
-	}
 	// Hash acceleration: bucket one side on an equality conjunct so delta
-	// parts cost O(|Δ| + matches) instead of O(|Δ|·|base|).
+	// parts cost O(|Δ| + matches) instead of O(|Δ|·|base|). Conditions are
+	// evaluated over the (lt, rt) pair directly; the output tuple is only
+	// materialized for surviving pairs.
 	lcols := len(o.Inputs[0].OutCols)
 	var hl, hr int = -1, -1
 	for _, cnd := range o.Conds {
@@ -584,76 +664,86 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 			break
 		}
 	}
-	cellVals := func(c Cell) []string {
-		vals := make([]string, 0, len(c))
-		for _, it := range c {
-			vals = append(vals, e.env.value(it))
+	// The base-right side is probed by every part of the propagation
+	// equation (and repeatedly by the LOJ corrections), so its prefix-sum
+	// index is built at most once per join evaluation and shared.
+	var brIdx *joinIndex
+	indexFor := func(rts []*Tuple) *joinIndex {
+		if hl < 0 || len(rts) <= 8 || AblationNoJoinHash {
+			return nil
 		}
-		return vals
-	}
-	forMatches := func(lt *Tuple, rts []*Tuple, fn func(rt *Tuple, cand *Tuple)) {
-		if hl >= 0 && len(rts) > 8 && !AblationNoJoinHash {
-			idx := make(map[string][]*Tuple, len(rts))
-			for _, rt := range rts {
-				for _, v := range cellVals(rt.Cells[hr-lcols]) {
-					idx[v] = append(idx[v], rt)
-				}
+		if len(rts) == len(br.Tuples) && &rts[0] == &br.Tuples[0] {
+			if brIdx == nil {
+				brIdx = buildJoinIndex(e.env, br.Tuples, hr-lcols)
 			}
-			seen := map[*Tuple]bool{}
-			for _, v := range cellVals(lt.Cells[hl]) {
-				for _, rt := range idx[v] {
-					if seen[rt] {
+			return brIdx
+		}
+		return buildJoinIndex(e.env, rts, hr-lcols)
+	}
+	// matchCount sums the counts of rts tuples joining with lt, probing idx
+	// when one is supplied (idx must have been built over rts).
+	matchCount := func(lt *Tuple, rts []*Tuple, idx *joinIndex) int {
+		m := 0
+		if idx != nil {
+			idx.epoch++
+			for _, it := range lt.Cells[hl] {
+				b, ok := idx.spans[e.env.value(it)]
+				if !ok {
+					continue
+				}
+				for j := idx.head[b]; j >= 0; j = idx.next[j] {
+					ri := idx.pos[j]
+					if idx.seen[ri] == idx.epoch {
 						continue
 					}
-					seen[rt] = true
-					cand := pair(lt, rt)
-					if e.pairCond(o, out, cand, lt, rt) {
-						fn(rt, cand)
+					idx.seen[ri] = idx.epoch
+					rt := rts[ri]
+					if pairCondTrue(e.env, out, lcols, lt, rt, o.Conds) {
+						m += rt.Count
 					}
 				}
 			}
-			return
+			return m
 		}
 		for _, rt := range rts {
-			cand := pair(lt, rt)
-			if e.pairCond(o, out, cand, lt, rt) {
-				fn(rt, cand)
+			if pairCondTrue(e.env, out, lcols, lt, rt, o.Conds) {
+				m += rt.Count
 			}
 		}
-	}
-	matches := func(lt *Tuple, rts []*Tuple) int {
-		m := 0
-		forMatches(lt, rts, func(rt *Tuple, _ *Tuple) { m += rt.Count })
 		return m
 	}
 	joinInto := func(lts, rts []*Tuple) {
-		if hl >= 0 && len(rts) > 8 && len(lts) > 0 && !AblationNoJoinHash {
-			// Build the right index once for the whole left list.
-			idx := make(map[string][]*Tuple, len(rts))
-			for _, rt := range rts {
-				for _, v := range cellVals(rt.Cells[hr-lcols]) {
-					idx[v] = append(idx[v], rt)
-				}
-			}
-			for _, lt := range lts {
-				seen := map[*Tuple]bool{}
-				for _, v := range cellVals(lt.Cells[hl]) {
-					for _, rt := range idx[v] {
-						if seen[rt] {
+		if len(lts) == 0 || len(rts) == 0 {
+			return
+		}
+		idx := indexFor(rts)
+		for _, lt := range lts {
+			if idx != nil {
+				idx.epoch++
+				for _, it := range lt.Cells[hl] {
+					b, ok := idx.spans[e.env.value(it)]
+					if !ok {
+						continue
+					}
+					for j := idx.head[b]; j >= 0; j = idx.next[j] {
+						ri := idx.pos[j]
+						if idx.seen[ri] == idx.epoch {
 							continue
 						}
-						seen[rt] = true
-						cand := pair(lt, rt)
-						if e.pairCond(o, out, cand, lt, rt) {
-							out.Append(cand)
+						idx.seen[ri] = idx.epoch
+						rt := rts[ri]
+						if pairCondTrue(e.env, out, lcols, lt, rt, o.Conds) {
+							out.Append(pairTuple(a, lt, rt))
 						}
 					}
 				}
+				continue
 			}
-			return
-		}
-		for _, lt := range lts {
-			forMatches(lt, rts, func(_ *Tuple, cand *Tuple) { out.Append(cand) })
+			for _, rt := range rts {
+				if pairCondTrue(e.env, out, lcols, lt, rt, o.Conds) {
+					out.Append(pairTuple(a, lt, rt))
+				}
+			}
 		}
 	}
 
@@ -661,17 +751,19 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 	joinInto(dl.Tuples, br.Tuples)
 	// For LOJ, a patched left with no old matches patches its null-padded
 	// result.
-	if o.Kind == OpLOJ {
-		pad := make([]Cell, len(br.Cols))
+	if o.Kind == OpLOJ && len(dlPatch) > 0 {
+		pad := a.makeCells(len(br.Cols), len(br.Cols))
+		brI := indexFor(br.Tuples)
 		for _, lt := range dlPatch {
-			if matches(lt, br.Tuples) == 0 {
-				out.Append(extendPad(lt, pad))
+			if matchCount(lt, br.Tuples, brI) == 0 {
+				out.Append(extendCells(a, lt, pad))
 			}
 		}
 	}
-	// Part 2: the new left state against right deltas.
-	lNew := append(append([]*Tuple(nil), bl.Tuples...), dlDelta...)
-	joinInto(lNew, drDelta)
+	// Part 2: the new left state against right deltas (old state first, so
+	// the emission order matches the concatenated L_old ⊎ ΔL sweep).
+	joinInto(bl.Tuples, drDelta)
+	joinInto(dlDelta, drDelta)
 	// Part 3: right patches against the old left side.
 	joinInto(bl.Tuples, drPatch)
 
@@ -680,31 +772,41 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 	// live. Compute, per left identity, the padding contribution in the old
 	// and new states and emit the difference.
 	if o.Kind == OpLOJ && (len(dlDelta) > 0 || len(drDelta) > 0) {
-		pad := make([]Cell, len(br.Cols))
-		lid := func(lt *Tuple) string {
-			parts := make([]string, len(lt.Cells))
+		pad := a.makeCells(len(br.Cols), len(br.Cols))
+		// Identities run off one reusable byte buffer; map reads keyed by
+		// string(buf) do not allocate, and a string is only materialized
+		// the first time an identity is inserted.
+		var idBuf []byte
+		lidBytes := func(lt *Tuple) []byte {
+			idBuf = idBuf[:0]
 			for i, c := range lt.Cells {
-				parts[i] = cellIdentity(c)
+				if i > 0 {
+					idBuf = append(idBuf, "\x1f\x1f"...)
+				}
+				idBuf = appendCellIdentity(idBuf, c)
 			}
-			return joinKey(parts)
+			return idBuf
 		}
 		ldelta := map[string]int{}
 		lrep := map[string]*Tuple{}
 		for _, lt := range dlDelta {
-			id := lid(lt)
+			id := string(lidBytes(lt))
 			ldelta[id] += lt.Count
 			lrep[id] = lt
 		}
+		brI := indexFor(br.Tuples)
+		drI := indexFor(drDelta)
 		seen := map[string]bool{}
 		consider := func(lt *Tuple, cOld int) {
-			id := lid(lt)
-			if seen[id] {
+			b := lidBytes(lt)
+			if seen[string(b)] {
 				return
 			}
+			id := string(b)
 			seen[id] = true
 			cNew := cOld + ldelta[id]
-			mOld := matches(lt, br.Tuples)
-			mNew := mOld + matches(lt, drDelta)
+			mOld := matchCount(lt, br.Tuples, brI)
+			mNew := mOld + matchCount(lt, drDelta, drI)
 			padOld, padNew := 0, 0
 			if mOld == 0 {
 				padOld = cOld
@@ -713,19 +815,26 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 				padNew = cNew
 			}
 			if d := padNew - padOld; d != 0 {
-				pt := extendPad(lt, pad)
+				pt := extendCells(a, lt, pad)
 				pt.Count = d
 				pt.Kind = Delta
 				out.Append(pt)
 			}
 		}
 		for _, lt := range bl.Tuples {
+			// Prefilter: an identity with no left delta and no new right
+			// match has cNew == cOld and mNew == mOld, so its correction is
+			// provably zero and the match counting can be skipped.
+			if _, hit := ldelta[string(lidBytes(lt))]; !hit &&
+				matchCount(lt, drDelta, drI) == 0 {
+				continue
+			}
 			consider(lt, lt.Count)
 		}
 		for _, lt := range dlDelta {
-			if !seen[lid(lt)] {
+			if !seen[string(lidBytes(lt))] {
 				// A brand-new (or fully removed) left identity.
-				base := *lrep[lid(lt)]
+				base := *lrep[string(lidBytes(lt))]
 				base.Count = 0
 				consider(&base, 0)
 			}
@@ -734,55 +843,13 @@ func (e *deltaEngine) deltaJoin(o *Op) (*Table, error) {
 	return out, nil
 }
 
-// pairCond evaluates the join condition over a candidate pair, resolving
-// each operand against the store matching the tuple it came from.
-func (e *deltaEngine) pairCond(o *Op, tbl *Table, cand, lt, rt *Tuple) bool {
-	lcols := len(lt.Cells)
-	for _, c := range o.Conds {
-		ls := e.operandValues(o, tbl, cand, lt, rt, lcols, c.L)
-		rs := e.operandValues(o, tbl, cand, lt, rt, lcols, c.R)
-		ok := false
-		for _, a := range ls {
-			for _, b := range rs {
-				if compareVals(a, c.Op, b) {
-					ok = true
-					break
-				}
-			}
-			if ok {
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-func (e *deltaEngine) operandValues(o *Op, tbl *Table, cand, lt, rt *Tuple, lcols int, op CmpOperand) []string {
-	if op.IsLit {
-		return []string{op.Lit}
-	}
-	idx := tbl.Col(op.Col)
-	_ = lt
-	_ = rt
-	_ = lcols
-	cell := cand.Cells[idx]
-	out := make([]string, 0, len(cell))
-	for _, it := range cell {
-		// Resolve against the post-update reader (see the Select rule).
-		out = append(out, e.env.value(it))
-	}
-	return out
-}
-
 func (e *deltaEngine) deltaDistinct(o *Op) (*Table, error) {
 	din, err := e.delta(o.Inputs[0])
 	if err != nil {
 		return nil, err
 	}
-	out := NewTable(o.OutCols...)
+	a := e.env.alloc
+	out := e.env.outTable(o)
 	ci := din.Col(o.InCol)
 	counts := map[string]int{}
 	var order []string
@@ -802,7 +869,11 @@ func (e *deltaEngine) deltaDistinct(o *Op) (*Table, error) {
 		if counts[v] == 0 {
 			continue
 		}
-		out.Append(&Tuple{Cells: []Cell{{ValueItem(v, 0)}}, Count: counts[v], Kind: Delta})
+		cells := a.makeCells(1, 1)
+		cells[0] = a.cell1(ValueItem(v, 0))
+		t := a.tuple()
+		*t = Tuple{Cells: cells, Count: counts[v], Kind: Delta}
+		out.Append(t)
 	}
 	return out, nil
 }
@@ -815,7 +886,8 @@ func (e *deltaEngine) deltaGroupBy(o *Op) (*Table, error) {
 	if o.Agg != "" {
 		return e.deltaAggregate(o, din)
 	}
-	out := NewTable(o.OutCols...)
+	a := e.env.alloc
+	out := e.env.outTable(o)
 	if empty(din) {
 		return out, nil
 	}
@@ -830,15 +902,19 @@ func (e *deltaEngine) deltaGroupBy(o *Op) (*Table, error) {
 		cidx[i] = in.Col(c)
 	}
 	for _, tp := range in.Tuples {
-		cells := make([]Cell, 0, len(o.OutCols))
+		cells := a.makeCells(0, len(o.OutCols))
 		for _, gi := range gidx {
 			cells = append(cells, tp.Cells[gi])
 		}
 		for _, cc := range cidx {
 			cells = append(cells, tp.Cells[cc])
 		}
+		src := tp.Cells[ci]
 		coll := Cell{}
-		for _, it := range tp.Cells[ci] {
+		if len(src) > 0 {
+			coll = a.makeItems(0, len(src))
+		}
+		for _, it := range src {
 			if o.Unordered {
 				it.ID.Ord = NoOrd
 			} else {
@@ -848,7 +924,9 @@ func (e *deltaEngine) deltaGroupBy(o *Op) (*Table, error) {
 			coll = append(coll, it)
 		}
 		cells = append(cells, coll)
-		out.Append(&Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region})
+		t := a.tuple()
+		*t = Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+		out.Append(t)
 	}
 	return out, nil
 }
@@ -856,7 +934,7 @@ func (e *deltaEngine) deltaGroupBy(o *Op) (*Table, error) {
 // deltaAggregate recomputes affected groups: old results are retracted and
 // new results inserted (Ch 7.6).
 func (e *deltaEngine) deltaAggregate(o *Op, din *Table) (*Table, error) {
-	out := NewTable(o.OutCols...)
+	out := e.env.outTable(o)
 	if empty(din) {
 		return out, nil
 	}

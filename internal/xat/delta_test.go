@@ -18,7 +18,7 @@ type deltaFixture struct {
 	root  flexkey.Key // <bib> element
 }
 
-func newDeltaFixture(t *testing.T, filterYear string) *deltaFixture {
+func newDeltaFixture(t testing.TB, filterYear string) *deltaFixture {
 	t.Helper()
 	s := xmldoc.NewStore()
 	root, err := s.Load("bib.xml", execBib)
@@ -49,7 +49,7 @@ func newDeltaFixture(t *testing.T, filterYear string) *deltaFixture {
 }
 
 // propagate runs one region through the fixture's plan.
-func (f *deltaFixture) propagate(t *testing.T, r *Region, overlay *xmldoc.Store) []*VNode {
+func (f *deltaFixture) propagate(t testing.TB, r *Region, overlay *xmldoc.Store) []*VNode {
 	t.Helper()
 	if overlay == nil {
 		overlay = xmldoc.NewStore()

@@ -36,8 +36,11 @@ func (e *deltaEngine) materializeDelta(final *Table, col string) []*VNode {
 }
 
 // derefDelta materializes a delta fragment with signed counts. Pinned
-// constructed nodes (the unconditional roots) contribute zero.
+// constructed nodes (the unconditional roots) contribute zero. The trees are
+// round transients — the deep union clones everything it keeps — so their
+// nodes come from the round arena.
 func (e *deltaEngine) derefDelta(rd xmldoc.Reader, it Item, count int) *VNode {
+	a := e.env.alloc
 	if it.ID.Constructed {
 		skel, ok := it.Skel, it.Skel != nil
 		if !ok {
@@ -45,22 +48,29 @@ func (e *deltaEngine) derefDelta(rd xmldoc.Reader, it Item, count int) *VNode {
 		}
 		if !ok {
 			if it.IsVal {
-				return &VNode{ID: it.ID, Kind: xmldoc.Text, Value: it.Val, Count: count}
+				return a.vnode(VNode{ID: it.ID, Kind: xmldoc.Text, Value: it.Val, Count: count})
 			}
 			return nil
 		}
 		if skel.Pinned {
 			count = 0
 		}
-		n := &VNode{ID: it.ID, Kind: xmldoc.Element, Name: skel.Name, Count: count}
-		for _, a := range skel.Attrs {
-			n.Attrs = append(n.Attrs, &VNode{
-				ID:   ID{Body: "attr" + bodySep + a.Name, Constructed: true},
-				Kind: xmldoc.Attr, Name: a.Name, Value: a.Value, Count: count,
-			})
+		n := a.vnode(VNode{ID: it.ID, Kind: xmldoc.Element, Name: skel.Name, Count: count})
+		if len(skel.Attrs) > 0 {
+			n.Attrs = a.MakeVNodeRefs(0, len(skel.Attrs))
+			for _, at := range skel.Attrs {
+				n.Attrs = append(n.Attrs, a.vnode(VNode{
+					ID:   ID{Body: "attr" + bodySep + at.Name, Constructed: true},
+					Kind: xmldoc.Attr, Name: at.Name, Value: at.Value, Count: count,
+				}))
+			}
 		}
-		content := append(Cell(nil), skel.Content...)
+		content := a.makeItems(len(skel.Content), len(skel.Content))
+		copy(content, skel.Content)
 		sortCellByOrder(content)
+		if len(content) > 0 {
+			n.Children = a.MakeVNodeRefs(0, len(content))
+		}
 		for _, c := range content {
 			cc := c.Count
 			if cc == 0 {
@@ -73,7 +83,7 @@ func (e *deltaEngine) derefDelta(rd xmldoc.Reader, it Item, count int) *VNode {
 		return n
 	}
 	if it.IsVal && it.ID.Body == "" {
-		return &VNode{ID: ID{Body: "val" + bodySep + it.Val}, Kind: xmldoc.Text, Value: it.Val, Count: count}
+		return a.vnode(VNode{ID: ID{Body: "val" + bodySep + it.Val}, Kind: xmldoc.Text, Value: it.Val, Count: count})
 	}
 	k := flexkey.Key(it.ID.Body)
 	nd, ok := rd.Node(k)
@@ -87,9 +97,9 @@ func (e *deltaEngine) derefDelta(rd xmldoc.Reader, it Item, count int) *VNode {
 		rd = e.in.Base
 	}
 	if it.IsVal {
-		return &VNode{ID: it.ID, Kind: nd.Kind, Name: nd.Name, Value: nd.Value, Count: count}
+		return a.vnode(VNode{ID: it.ID, Kind: nd.Kind, Name: nd.Name, Value: nd.Value, Count: count})
 	}
-	root := copyBase(rd, nd, count)
+	root := copyBaseAlloc(a, rd, nd, count)
 	root.ID = it.ID
 	return root
 }
@@ -103,6 +113,7 @@ func (e *deltaEngine) buildPatch(it Item, tp *Tuple) *VNode {
 		return nil
 	}
 	sign := r.Sign()
+	a := e.env.alloc
 	if it.ID.Constructed {
 		skel, ok := it.Skel, it.Skel != nil
 		if !ok {
@@ -111,11 +122,15 @@ func (e *deltaEngine) buildPatch(it Item, tp *Tuple) *VNode {
 		if !ok {
 			return nil
 		}
-		n := &VNode{ID: it.ID, Kind: xmldoc.Element, Name: skel.Name, Count: 0}
-		content := append(Cell(nil), skel.Content...)
+		n := a.vnode(VNode{ID: it.ID, Kind: xmldoc.Element, Name: skel.Name, Count: 0})
+		content := a.makeItems(len(skel.Content), len(skel.Content))
+		copy(content, skel.Content)
 		sortCellByOrder(content)
 		for _, c := range content {
 			if sub := e.buildPatch(c, tp); sub != nil {
+				if n.Children == nil {
+					n.Children = a.MakeVNodeRefs(0, len(content))
+				}
 				n.Children = append(n.Children, sub)
 			}
 		}
@@ -134,7 +149,7 @@ func (e *deltaEngine) buildPatch(it Item, tp *Tuple) *VNode {
 		if !ok {
 			return nil
 		}
-		return &VNode{ID: it.ID, Kind: nd.Kind, Name: nd.Name, Value: r.NewValue, Count: 0, Mod: true}
+		return a.vnode(VNode{ID: it.ID, Kind: nd.Kind, Name: nd.Name, Value: r.NewValue, Count: 0, Mod: true})
 	case r.Mode != RegionModify && flexkey.IsSelfOrAncestorOf(r.Anchor, k):
 		// Content wholly inside the region: a signed fragment.
 		var rd xmldoc.Reader = e.in.Base
@@ -159,7 +174,8 @@ func (e *deltaEngine) spine(it Item, k flexkey.Key, tp *Tuple) *VNode {
 	if !ok {
 		return nil
 	}
-	n := &VNode{ID: it.ID, Kind: nd.Kind, Name: nd.Name, Value: nd.Value, Count: 0}
+	a := e.env.alloc
+	n := a.vnode(VNode{ID: it.ID, Kind: nd.Kind, Name: nd.Name, Value: nd.Value, Count: 0})
 	if n.ID.Body == "" {
 		n.ID = BaseID(k)
 	}

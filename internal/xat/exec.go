@@ -2,7 +2,7 @@ package xat
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -54,12 +54,35 @@ type Env struct {
 	Cons  map[string]*Skeleton
 	Stats *Stats
 	vals  map[flexkey.Key]string // string-value memo (stores are immutable per run)
+	alloc *Alloc                 // round arena; nil means plain heap allocation
+	nav   navBufs                // reusable path-navigation buffers
+
+	// baseVals/dirty let an environment over the round's UpdatedReader
+	// read through to the persistent base-store memo: a key unrelated to
+	// every update region of the round (not in a touched subtree, not on an
+	// anchor's ancestor chain) reads identically in both stores, so its
+	// value can be served from — and memoized into — the cross-round map
+	// instead of being re-resolved every round. Dirty keys fall back to the
+	// per-round memo.
+	baseVals map[flexkey.Key]string
+	dirty    []flexkey.Key
 }
 
 // NewEnv returns an execution environment over the given store.
 func NewEnv(store xmldoc.Reader) *Env {
 	return &Env{Store: store, Cons: make(map[string]*Skeleton), Stats: &Stats{},
 		vals: make(map[flexkey.Key]string)}
+}
+
+// outTable returns an empty output table for operator o, sharing the
+// precomputed column index of the analyzed plan and backed by the round
+// arena when one is active. Hand-built operators that never went through
+// Analyze fall back to building the index.
+func (env *Env) outTable(o *Op) *Table {
+	if o.proto == nil {
+		return NewTable(o.OutCols...)
+	}
+	return &Table{Cols: o.proto.Cols, colIdx: o.proto.colIdx, alloc: env.alloc}
 }
 
 // value resolves an item's atomic value through the environment's memo.
@@ -77,9 +100,29 @@ func (env *Env) value(it Item) string {
 	if v, ok := env.vals[k]; ok {
 		return v
 	}
+	if env.baseVals != nil && !env.keyDirty(k) {
+		if v, ok := env.baseVals[k]; ok {
+			return v
+		}
+		v := xmldoc.StringValue(env.Store, k)
+		env.baseVals[k] = v
+		return v
+	}
 	v := xmldoc.StringValue(env.Store, k)
 	env.vals[k] = v
 	return v
+}
+
+// keyDirty reports whether k's string value may differ between the base
+// store and the round's updated reader: k lies inside a region's subtree or
+// on a region anchor's ancestor chain.
+func (env *Env) keyDirty(k flexkey.Key) bool {
+	for _, a := range env.dirty {
+		if flexkey.IsSelfOrAncestorOf(a, k) || flexkey.IsSelfOrAncestorOf(k, a) {
+			return true
+		}
+	}
+	return false
 }
 
 // Execute runs the plan bottom-up and returns the output table of the
@@ -116,7 +159,7 @@ func evalOp(o *Op, env *Env) (*Table, error) {
 func applyOp(o *Op, env *Env, ins []*Table) (*Table, error) {
 	switch o.Kind {
 	case OpSource:
-		out := NewTable(o.OutCols...)
+		out := env.outTable(o)
 		rootKey, ok := env.Store.Root(o.Doc)
 		if !ok {
 			return nil, fmt.Errorf("xat: document %q not loaded", o.Doc)
@@ -131,7 +174,7 @@ func applyOp(o *Op, env *Env, ins []*Table) (*Table, error) {
 		return execNavCollection(o, env, ins[0]), nil
 
 	case OpSelect:
-		out := NewTable(o.OutCols...)
+		out := env.outTable(o)
 		for _, tp := range ins[0].Tuples {
 			if condTrue(env, ins[0], tp, nil, nil, o.Conds) {
 				out.Append(tp)
@@ -155,7 +198,7 @@ func applyOp(o *Op, env *Env, ins []*Table) (*Table, error) {
 		// Non-ordered bag semantics: Order By only changes the Order Schema;
 		// the new order is realized through overriding-order keys assigned
 		// downstream (Sec 3.4.3).
-		out := NewTable(o.OutCols...)
+		out := env.outTable(o)
 		out.Tuples = ins[0].Tuples
 		return out, nil
 
@@ -169,16 +212,16 @@ func applyOp(o *Op, env *Env, ins []*Table) (*Table, error) {
 		return execXMLUnion(o, env, ins[0]), nil
 
 	case OpXMLDifference, OpXMLIntersection:
-		return execXMLSetOp(o, ins[0]), nil
+		return execXMLSetOp(o, env, ins[0]), nil
 
 	case OpXMLUnique:
 		return execXMLUnique(o, env, ins[0]), nil
 
 	case OpName:
-		out := NewTable(o.OutCols...)
+		out := env.outTable(o)
 		ci := ins[0].Col(o.InCol)
 		for _, tp := range ins[0].Tuples {
-			out.Append(extend(tp, tp.Cells[ci]))
+			out.Append(extend(env.alloc, tp, tp.Cells[ci]))
 		}
 		return out, nil
 
@@ -197,15 +240,15 @@ func applyOp(o *Op, env *Env, ins []*Table) (*Table, error) {
 }
 
 func execNavUnnest(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	ci := in.Col(o.InCol)
 	for _, tp := range in.Tuples {
 		for _, it := range tp.Cells[ci] {
 			if it.ID.Body == "" {
 				continue // pure values cannot be navigated
 			}
-			for _, res := range evalPathItems(env.Store, flexkey.Key(it.ID.Body), o.Path) {
-				out.Append(extend(tp, Cell{res}))
+			for _, res := range evalPathItemsBuf(env.Store, flexkey.Key(it.ID.Body), o.Path, o.navSingles, nil, "", &env.nav) {
+				out.Append(extend(env.alloc, tp, env.alloc.cell1(res)))
 			}
 		}
 	}
@@ -213,23 +256,31 @@ func execNavUnnest(o *Op, env *Env, in *Table) *Table {
 }
 
 func execNavCollection(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	ci := in.Col(o.InCol)
+	var scratch Cell
 	for _, tp := range in.Tuples {
 		if tp.Cells[ci] == nil {
 			// Navigation from a null padding stays null so the padding
 			// remains recognizable downstream.
-			out.Append(extend(tp, Cell(nil)))
+			out.Append(extend(env.alloc, tp, nil))
 			continue
 		}
-		coll := Cell{}
+		scratch = scratch[:0]
 		for _, it := range tp.Cells[ci] {
 			if it.ID.Body == "" {
 				continue
 			}
-			coll = append(coll, evalPathItems(env.Store, flexkey.Key(it.ID.Body), o.Path)...)
+			scratch = append(scratch, evalPathItemsBuf(env.Store, flexkey.Key(it.ID.Body), o.Path, o.navSingles, nil, "", &env.nav)...)
 		}
-		out.Append(extend(tp, coll))
+		// An empty collection must stay distinguishable from a null padding:
+		// emit a non-nil empty cell.
+		coll := Cell{}
+		if len(scratch) > 0 {
+			coll = env.alloc.makeItems(len(scratch), len(scratch))
+			copy(coll, scratch)
+		}
+		out.Append(extend(env.alloc, tp, coll))
 	}
 	return out
 }
@@ -245,35 +296,84 @@ func cellValues(env *Env, c Cell) []string {
 
 // condTrue evaluates a conjunction of comparisons with existential
 // semantics. When lt/ltp are non-nil, column lookups fall back to the left
-// tuple (used by joins before the combined tuple is built).
+// tuple (used by joins before the combined tuple is built). Operand values
+// are resolved item by item through the env memo — no per-call slices.
 func condTrue(env *Env, tbl *Table, tp *Tuple, lt *Table, ltp *Tuple, conds []Cmp) bool {
-	operand := func(op CmpOperand) []string {
-		if op.IsLit {
-			return []string{op.Lit}
-		}
+	operand := func(op CmpOperand) Cell {
 		if tbl.HasCol(op.Col) {
-			return cellValues(env, tbl.Cell(tp, op.Col))
+			return tbl.Cell(tp, op.Col)
 		}
 		if lt != nil && lt.HasCol(op.Col) {
-			return cellValues(env, lt.Cell(ltp, op.Col))
+			return lt.Cell(ltp, op.Col)
 		}
 		panic("xat: condition references unknown column " + op.Col)
 	}
 	for _, c := range conds {
-		ls, rs := operand(c.L), operand(c.R)
-		ok := false
-		for _, a := range ls {
-			for _, b := range rs {
-				if compareVals(a, c.Op, b) {
-					ok = true
-					break
-				}
-			}
-			if ok {
-				break
+		var lc, rc Cell
+		if !c.L.IsLit {
+			lc = operand(c.L)
+		}
+		if !c.R.IsLit {
+			rc = operand(c.R)
+		}
+		if !cmpExists(env, c, lc, rc) {
+			return false
+		}
+	}
+	return true
+}
+
+// cmpExists evaluates one comparison existentially over the operand cells;
+// a literal operand acts as a one-element sequence.
+func cmpExists(env *Env, c Cmp, lc, rc Cell) bool {
+	switch {
+	case c.L.IsLit && c.R.IsLit:
+		return compareVals(c.L.Lit, c.Op, c.R.Lit)
+	case c.L.IsLit:
+		for _, b := range rc {
+			if compareVals(c.L.Lit, c.Op, env.value(b)) {
+				return true
 			}
 		}
-		if !ok {
+	case c.R.IsLit:
+		for _, a := range lc {
+			if compareVals(env.value(a), c.Op, c.R.Lit) {
+				return true
+			}
+		}
+	default:
+		for _, a := range lc {
+			av := env.value(a)
+			for _, b := range rc {
+				if compareVals(av, c.Op, env.value(b)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pairCondTrue evaluates a join condition over the (lt, rt) pair exactly as
+// condTrue would over the concatenated tuple, without building it: output
+// columns below lcols resolve into lt, the rest into rt.
+func pairCondTrue(env *Env, out *Table, lcols int, lt, rt *Tuple, conds []Cmp) bool {
+	cellOf := func(col string) Cell {
+		i := out.Col(col)
+		if i < lcols {
+			return lt.Cells[i]
+		}
+		return rt.Cells[i-lcols]
+	}
+	for _, c := range conds {
+		var lc, rc Cell
+		if !c.L.IsLit {
+			lc = cellOf(c.L.Col)
+		}
+		if !c.R.IsLit {
+			rc = cellOf(c.R.Col)
+		}
+		if !cmpExists(env, c, lc, rc) {
 			return false
 		}
 	}
@@ -304,7 +404,7 @@ func compareVals(a, op, b string) bool {
 // used to bucket the right side (Sec 3.4.3 notes operators are free to pick
 // any physical strategy since order is encoded, not positional).
 func execJoin(o *Op, env *Env, l, r *Table, outer bool) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	// Pick a hashable equality conjunct.
 	var hl, hr string
 	for _, c := range o.Conds {
@@ -321,41 +421,34 @@ func execJoin(o *Op, env *Env, l, r *Table, outer bool) *Table {
 			break
 		}
 	}
-	emit := func(lt, rt *Tuple) *Tuple {
-		cells := make([]Cell, 0, len(lt.Cells)+len(rt.Cells))
-		cells = append(cells, lt.Cells...)
-		cells = append(cells, rt.Cells...)
-		return &Tuple{Cells: cells, Count: lt.Count * rt.Count,
-			Kind: mergeKind(lt, rt), Region: mergeRegion(lt, rt)}
-	}
-	pad := make([]Cell, len(r.Cols))
+	lcols := len(l.Cols)
+	pad := env.alloc.makeCells(len(r.Cols), len(r.Cols))
 	if hl != "" && len(r.Tuples) > 4 && !AblationNoJoinHash {
-		idx := make(map[string][]*Tuple)
-		rc := r.Col(hr)
-		for _, rt := range r.Tuples {
-			for _, v := range cellValues(env, rt.Cells[rc]) {
-				idx[v] = append(idx[v], rt)
-			}
-		}
+		idx := buildJoinIndex(env, r.Tuples, r.Col(hr))
 		lc := l.Col(hl)
 		for _, lt := range l.Tuples {
 			matched := false
-			seen := map[*Tuple]bool{}
-			for _, v := range cellValues(env, lt.Cells[lc]) {
-				for _, rt := range idx[v] {
-					if seen[rt] {
+			idx.epoch++
+			for _, it := range lt.Cells[lc] {
+				b, ok := idx.spans[env.value(it)]
+				if !ok {
+					continue
+				}
+				for j := idx.head[b]; j >= 0; j = idx.next[j] {
+					ri := idx.pos[j]
+					if idx.seen[ri] == idx.epoch {
 						continue
 					}
-					seen[rt] = true
-					cand := emit(lt, rt)
-					if condTrue(env, out, cand, nil, nil, o.Conds) {
-						out.Append(cand)
+					idx.seen[ri] = idx.epoch
+					rt := r.Tuples[ri]
+					if pairCondTrue(env, out, lcols, lt, rt, o.Conds) {
+						out.Append(pairTuple(env.alloc, lt, rt))
 						matched = true
 					}
 				}
 			}
 			if outer && !matched {
-				out.Append(extendPad(lt, pad))
+				out.Append(extendCells(env.alloc, lt, pad))
 			}
 		}
 		return out
@@ -363,24 +456,80 @@ func execJoin(o *Op, env *Env, l, r *Table, outer bool) *Table {
 	for _, lt := range l.Tuples {
 		matched := false
 		for _, rt := range r.Tuples {
-			cand := emit(lt, rt)
-			if condTrue(env, out, cand, nil, nil, o.Conds) {
-				out.Append(cand)
+			if pairCondTrue(env, out, lcols, lt, rt, o.Conds) {
+				out.Append(pairTuple(env.alloc, lt, rt))
 				matched = true
 			}
 		}
 		if outer && !matched {
-			out.Append(extendPad(lt, pad))
+			out.Append(extendCells(env.alloc, lt, pad))
 		}
 	}
 	return out
 }
 
-func extendPad(lt *Tuple, pad []Cell) *Tuple {
-	cells := make([]Cell, 0, len(lt.Cells)+len(pad))
-	cells = append(cells, lt.Cells...)
-	cells = append(cells, pad...)
-	return &Tuple{Cells: cells, Count: lt.Count, Kind: lt.Kind, Region: lt.Region}
+// joinIndex is a chained-bucket hash index over one column of a tuple
+// slice: spans maps each atomic value to a bucket, whose item occurrences
+// are chained through head/next in input order (so bucket iteration order
+// matches the append-based index it replaces) with pos mapping each
+// occurrence back to its tuple position. seen holds per-position epoch
+// marks for duplicate suppression without a per-probe map allocation.
+type joinIndex struct {
+	spans map[string]int32
+	head  []int32 // bucket → first occurrence
+	tail  []int32 // bucket → last occurrence (build cursor)
+	next  []int32 // occurrence → next occurrence in bucket, -1 ends
+	pos   []int32 // occurrence → tuple position
+	seen  []int32
+	epoch int32
+}
+
+// buildJoinIndex builds the index in a single pass — one value resolution
+// and one map operation per item. It is built once per join evaluation and
+// probed many times.
+func buildJoinIndex(env *Env, rts []*Tuple, rc int) *joinIndex {
+	n := 0
+	for _, rt := range rts {
+		n += len(rt.Cells[rc])
+	}
+	idx := &joinIndex{
+		spans: env.alloc.spanMap(len(rts)),
+		head:  env.alloc.makeInt32(0, n),
+		tail:  env.alloc.makeInt32(0, n),
+		next:  env.alloc.makeInt32(n, n),
+		pos:   env.alloc.makeInt32(n, n),
+		seen:  env.alloc.makeInt32(len(rts), len(rts)),
+	}
+	i := int32(0)
+	for ri, rt := range rts {
+		for _, it := range rt.Cells[rc] {
+			v := env.value(it)
+			if b, ok := idx.spans[v]; ok {
+				idx.next[idx.tail[b]] = i
+				idx.tail[b] = i
+			} else {
+				idx.spans[v] = int32(len(idx.head))
+				idx.head = append(idx.head, i)
+				idx.tail = append(idx.tail, i)
+			}
+			idx.next[i] = -1
+			idx.pos[i] = int32(ri)
+			i++
+		}
+	}
+	return idx
+}
+
+// pairTuple concatenates lt and rt into a join output tuple.
+func pairTuple(a *Alloc, lt, rt *Tuple) *Tuple {
+	ln := len(lt.Cells)
+	cells := a.makeCells(ln+len(rt.Cells), ln+len(rt.Cells))
+	copy(cells, lt.Cells)
+	copy(cells[ln:], rt.Cells)
+	t := a.tuple()
+	*t = Tuple{Cells: cells, Count: lt.Count * rt.Count,
+		Kind: mergeKind(lt, rt), Region: mergeRegion(lt, rt)}
+	return t
 }
 
 func mergeKind(a, b *Tuple) TupleKind {
@@ -410,8 +559,28 @@ func cellIdentity(c Cell) string {
 	return strings.Join(parts, "\x1f")
 }
 
+// appendCellIdentity appends cellIdentity(c) to buf without intermediate
+// strings, so identity map probes keyed by string(buf) stay allocation-free.
+func appendCellIdentity(buf []byte, c Cell) []byte {
+	if len(c) == 0 {
+		return append(buf, "\x00null"...)
+	}
+	for i, it := range c {
+		if i > 0 {
+			buf = append(buf, '\x1f')
+		}
+		if it.IsVal {
+			buf = append(buf, "v="...)
+			buf = append(buf, it.Val...)
+		} else {
+			buf = it.ID.AppendKey(buf)
+		}
+	}
+	return buf
+}
+
 func execDistinct(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	ci := in.Col(o.InCol)
 	counts := make(map[string]int)
 	var order []string
@@ -425,13 +594,17 @@ func execDistinct(o *Op, env *Env, in *Table) *Table {
 		}
 	}
 	for _, v := range order {
-		out.Append(&Tuple{Cells: []Cell{{ValueItem(v, 0)}}, Count: counts[v]})
+		cells := env.alloc.makeCells(1, 1)
+		cells[0] = env.alloc.cell1(ValueItem(v, 0))
+		t := env.alloc.tuple()
+		*t = Tuple{Cells: cells, Count: counts[v]}
+		out.Append(t)
 	}
 	return out
 }
 
 func execGroupBy(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	type group struct {
 		first   *Tuple
 		members []*Tuple
@@ -575,7 +748,7 @@ func formatNum(f float64) string {
 }
 
 func execCombine(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	ci := in.Col(o.InCol)
 	t0 := time.Now()
 	coll := Cell{}
@@ -596,17 +769,21 @@ func execCombine(o *Op, env *Env, in *Table) *Table {
 }
 
 func execTagger(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	// IdentGen is timed once around the whole construction loop: a per-node
+	// clock read costs as much as building a small identifier.
+	t0 := time.Now()
+	out := env.outTable(o)
 	for _, tp := range in.Tuples {
 		if patternEmpty(o, in, tp) {
 			// A null-padded tuple (outer join with no match): construct
 			// nothing, so the enclosing group stays empty.
-			out.Append(extend(tp, Cell(nil)))
+			out.Append(extend(env.alloc, tp, nil))
 			continue
 		}
 		it := constructNode(o, env, in, tp)
-		out.Append(extend(tp, Cell{it}))
+		out.Append(extend(env.alloc, tp, env.alloc.cell1(it)))
 	}
+	env.Stats.IdentGen += time.Since(t0)
 	return out
 }
 
@@ -643,12 +820,12 @@ func patternEmpty(o *Op, in *Table, tp *Tuple) bool {
 // composeNodeIds) and stores its skeleton.
 func constructNode(o *Op, env *Env, in *Table, tp *Tuple) Item {
 	inOp := o.Inputs[0]
-	t0 := time.Now()
 	pin := patternInputCol(o.Pattern)
 	// The node's lineage combines the lineage of every column the pattern
 	// embeds — the semantics of the XML Union feeding a Tagger in the
-	// dissertation's plans (Fig 2.2 ops #13/#14).
-	var lineage []string
+	// dissertation's plans (Fig 2.2 ops #13/#14). The slice is round scratch
+	// (ConstructedID joins it into a string), so it may live in the arena.
+	lineage := env.alloc.makeStrings(0, 8)
 	colParts := 0
 	for _, part := range o.Pattern.Content {
 		if part.IsCol {
@@ -690,7 +867,7 @@ func constructNode(o *Op, env *Env, in *Table, tp *Tuple) Item {
 		case cs == nil || !cs.HasOrder:
 			id.Ord = NoOrd
 		case len(cs.OrderCols) > 0:
-			var comps []string
+			comps := env.alloc.makeStrings(0, 4)
 			for _, oc := range cs.OrderCols {
 				if in.HasCol(oc) {
 					comps = append(comps, orderComponents(in.Cell(tp, oc))...)
@@ -699,13 +876,15 @@ func constructNode(o *Op, env *Env, in *Table, tp *Tuple) Item {
 			id.Ord = MakeOrd(comps...)
 		}
 	}
-	env.Stats.IdentGen += time.Since(t0)
-
-	skel := &Skeleton{Name: o.Pattern.Name, Count: tp.Count}
+	skel := env.alloc.skeleton()
+	skel.Name, skel.Count = o.Pattern.Name, tp.Count
 	if pin != "" {
 		if cs := inOp.Ctx[pin]; cs != nil && cs.All {
 			skel.Pinned = true
 		}
+	}
+	if len(o.Pattern.Attrs) > 0 {
+		skel.Attrs = env.alloc.makeSkelAttrs(0, len(o.Pattern.Attrs))
 	}
 	for _, a := range o.Pattern.Attrs {
 		var b strings.Builder
@@ -722,6 +901,16 @@ func constructNode(o *Op, env *Env, in *Table, tp *Tuple) Item {
 	}
 	// Multi-part content follows pattern order: each part gets a positional
 	// order prefix, exactly like the ColID keys of an XML Union (Fig 4.5).
+	// Content backing is arena scratch like the skeleton itself.
+	ccap := 0
+	for _, part := range o.Pattern.Content {
+		if part.IsCol {
+			ccap += len(in.Cell(tp, part.Col))
+		} else {
+			ccap++
+		}
+	}
+	skel.Content = env.alloc.makeItems(0, ccap)
 	multi := len(o.Pattern.Content) > 1
 	for i, part := range o.Pattern.Content {
 		prefix := Ord("")
@@ -795,7 +984,7 @@ func resolveLineage(op *Op, tbl *Table, tp *Tuple, col, tag string) []string {
 }
 
 func execXMLUnion(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	cs := o.Ctx[o.OutCol]
 	t0 := time.Now()
 	for _, tp := range in.Tuples {
@@ -812,7 +1001,7 @@ func execXMLUnion(o *Op, env *Env, in *Table) *Table {
 				coll = append(coll, it)
 			}
 		}
-		out.Append(extend(tp, coll))
+		out.Append(extend(env.alloc, tp, coll))
 	}
 	env.Stats.OverridingOrd += time.Since(t0)
 	return out
@@ -821,8 +1010,8 @@ func execXMLUnion(o *Op, env *Env, in *Table) *Table {
 // execXMLSetOp implements XML Difference and XML Intersection: id-based set
 // operations over two sequence columns of each tuple. Both return their
 // result in document order, dropping any overriding order (Sec 3.3.2).
-func execXMLSetOp(o *Op, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+func execXMLSetOp(o *Op, env *Env, in *Table) *Table {
+	out := env.outTable(o)
 	c1 := in.Col(o.UnionCols[0])
 	c2 := in.Col(o.UnionCols[1])
 	for _, tp := range in.Tuples {
@@ -839,13 +1028,13 @@ func execXMLSetOp(o *Op, in *Table) *Table {
 			}
 		}
 		sortCellByOrder(res)
-		out.Append(extend(tp, res))
+		out.Append(extend(env.alloc, tp, res))
 	}
 	return out
 }
 
 func execXMLUnique(o *Op, env *Env, in *Table) *Table {
-	out := NewTable(o.OutCols...)
+	out := env.outTable(o)
 	ci := in.Col(o.InCol)
 	for _, tp := range in.Tuples {
 		seen := make(map[string]bool)
@@ -861,7 +1050,7 @@ func execXMLUnique(o *Op, env *Env, in *Table) *Table {
 			it.ID.Ord = ""
 			uniq = append(uniq, it)
 		}
-		out.Append(extend(tp, uniq))
+		out.Append(extend(env.alloc, tp, uniq))
 	}
 	return out
 }
@@ -891,11 +1080,10 @@ func (o *Op) osValue() bool { return o.osVal }
 // sortCellByOrder sorts a cell by overriding order, breaking ties by node
 // identity (document order for base nodes). Used when dereferencing results.
 func sortCellByOrder(c Cell) {
-	sort.SliceStable(c, func(i, j int) bool {
-		oi, oj := c[i].ID.Order(), c[j].ID.Order()
-		if cmp := CompareOrd(oi, oj); cmp != 0 {
-			return cmp < 0
+	slices.SortStableFunc(c, func(a, b Item) int {
+		if cmp := CompareOrd(a.ID.Order(), b.ID.Order()); cmp != 0 {
+			return cmp
 		}
-		return c[i].ID.Body < c[j].ID.Body
+		return strings.Compare(a.ID.Body, b.ID.Body)
 	})
 }

@@ -59,19 +59,31 @@ func CompareOrd(a, b Ord) int {
 	if a == NoOrd || b == NoOrd || (a == "" && b == "") {
 		return 0
 	}
-	ac, bc := a.Components(), b.Components()
-	for i := 0; i < len(ac) && i < len(bc); i++ {
-		if c := compareComponent(ac[i], bc[i]); c != 0 {
+	// Componentwise walk over the separator without splitting: CompareOrd
+	// runs inside every order-sensitive sort comparator, so it must not
+	// allocate.
+	as, bs := string(a), string(b)
+	for {
+		ac, bc := as, bs
+		aMore, bMore := false, false
+		if i := strings.IndexByte(as, ordSep[0]); i >= 0 {
+			ac, as, aMore = as[:i], as[i+1:], true
+		}
+		if i := strings.IndexByte(bs, ordSep[0]); i >= 0 {
+			bc, bs, bMore = bs[:i], bs[i+1:], true
+		}
+		if c := compareComponent(ac, bc); c != 0 {
 			return c
 		}
+		switch {
+		case aMore && !bMore:
+			return 1
+		case !aMore && bMore:
+			return -1
+		case !aMore:
+			return 0
+		}
 	}
-	switch {
-	case len(ac) < len(bc):
-		return -1
-	case len(ac) > len(bc):
-		return 1
-	}
-	return 0
 }
 
 func compareComponent(a, b string) int {
@@ -194,6 +206,20 @@ func (id ID) String() string {
 		return body + "[" + strings.Join(id.Ord.Components(), "..") + "]"
 	}
 	return body
+}
+
+// AppendKey appends Key() to buf, avoiding the intermediate string. Callers
+// on hot paths pair it with map[string(buf)] lookups, which the compiler
+// performs without materializing the string.
+func (id ID) AppendKey(buf []byte) []byte {
+	if !id.Constructed {
+		buf = append(buf, "b:"...)
+		return append(buf, id.Body...)
+	}
+	buf = append(buf, "c:"...)
+	buf = append(buf, itoa(id.Tag)...)
+	buf = append(buf, ':')
+	return append(buf, id.Body...)
 }
 
 func itoa(n int) string {

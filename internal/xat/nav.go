@@ -6,11 +6,21 @@ import (
 	"xqview/internal/xpath"
 )
 
+// navBufs holds reusable navigation buffers so steady-state path evaluation
+// performs no per-call allocation. The slice returned by evalPathItemsBuf
+// aliases nb.out and is only valid until the next call with the same bufs;
+// every caller iterates or copies the result immediately.
+type navBufs struct {
+	seen      map[flexkey.Key]bool
+	cur, next []flexkey.Key
+	out       []Item
+}
+
 // evalPathItems navigates path from the node start, returning result items
 // in document order. Element targets become node items; attribute targets
 // and text() targets become value items that retain their node identity.
 func evalPathItems(r xmldoc.Reader, start flexkey.Key, path *xpath.Path) []Item {
-	return evalPathItemsPruned(r, start, path, nil, "")
+	return evalPathItemsBuf(r, start, path, nil, nil, "", nil)
 }
 
 // evalPathItemsPruned is evalPathItems with an optional per-step pruning
@@ -20,22 +30,54 @@ func evalPathItems(r xmldoc.Reader, start flexkey.Key, path *xpath.Path) []Item 
 // scanning siblings; the propagate phase thus navigates a batch of k
 // updates in O(k·(depth + fragment)) instead of k full document scans.
 func evalPathItemsPruned(r xmldoc.Reader, start flexkey.Key, path *xpath.Path, keep func(flexkey.Key) bool, anchor flexkey.Key) []Item {
-	curElems := []flexkey.Key{start}
+	return evalPathItemsBuf(r, start, path, nil, keep, anchor, nil)
+}
+
+// evalPathItemsBuf is the buffer-reusing core of path navigation. singles,
+// when non-nil, holds one precomputed single-step path per step of path
+// (built once per plan in Analyze), saving a per-step allocation. nb, when
+// non-nil, supplies scratch buffers; the returned slice may alias nb.out.
+func evalPathItemsBuf(r xmldoc.Reader, start flexkey.Key, path *xpath.Path, singles []xpath.Path, keep func(flexkey.Key) bool, anchor flexkey.Key, nb *navBufs) []Item {
+	var curElems []flexkey.Key
+	if nb != nil {
+		curElems = append(nb.cur[:0], start)
+	} else {
+		curElems = []flexkey.Key{start}
+	}
 	var curItems []Item // non-element results (attr values, text)
 	for si := range path.Steps {
 		st := &path.Steps[si]
 		switch st.Kind {
 		case xpath.ElemTest:
-			one := &xpath.Path{Steps: []xpath.Step{*st}}
+			var one *xpath.Path
+			if singles != nil {
+				one = &singles[si]
+			} else {
+				one = &xpath.Path{Steps: []xpath.Step{*st}}
+			}
 			var next []flexkey.Key
-			seen := make(map[flexkey.Key]bool)
-			add := func(k flexkey.Key) {
-				if keep != nil && !keep(k) {
-					return
-				}
-				if !seen[k] {
-					seen[k] = true
-					next = append(next, k)
+			if nb != nil {
+				next = nb.next[:0]
+			}
+			// Dedup is only needed on overlapping axes: curElems is
+			// duplicate-free by induction (single start, deduped steps), and
+			// child-axis results from distinct parents are disjoint, so child
+			// steps skip the seen map entirely. This matters beyond the map
+			// cost itself — a reused seen map is cleared with clear(), which
+			// walks the map's full bucket capacity, so one wide step (a base
+			// re-derivation over the whole source) would tax every later
+			// narrow call through the same bufs with an O(source) wipe.
+			var seen map[flexkey.Key]bool
+			if st.Axis != xpath.Child {
+				if nb != nil {
+					if nb.seen == nil {
+						nb.seen = make(map[flexkey.Key]bool)
+					} else {
+						clear(nb.seen)
+					}
+					seen = nb.seen
+				} else {
+					seen = make(map[flexkey.Key]bool)
 				}
 			}
 			for _, c := range curElems {
@@ -47,13 +89,29 @@ func evalPathItemsPruned(r xmldoc.Reader, start flexkey.Key, path *xpath.Path, k
 					k := flexkey.Prefix(anchor, flexkey.Depth(c)+1)
 					if n, ok := r.Node(k); ok && n.Kind == xmldoc.Element &&
 						(st.Name == "*" || n.Name == st.Name) {
-						add(k)
+						if (keep == nil || keep(k)) && (seen == nil || !seen[k]) {
+							if seen != nil {
+								seen[k] = true
+							}
+							next = append(next, k)
+						}
 					}
 					continue
 				}
 				for _, k := range xpath.Eval(r, c, one) {
-					add(k)
+					if (keep == nil || keep(k)) && (seen == nil || !seen[k]) {
+						if seen != nil {
+							seen[k] = true
+						}
+						next = append(next, k)
+					}
 				}
+			}
+			if nb != nil {
+				// Double-buffer: the step's output becomes the next step's
+				// input; keep both slices' capacity on the bufs.
+				nb.next = curElems[:0]
+				nb.cur = next
 			}
 			curElems = next
 		case xpath.AttrTest:
@@ -90,9 +148,17 @@ func evalPathItemsPruned(r xmldoc.Reader, start flexkey.Key, path *xpath.Path, k
 		}
 	}
 	if curElems != nil {
-		out := make([]Item, len(curElems))
-		for i, k := range curElems {
-			out[i] = NodeItem(k, 0)
+		var out []Item
+		if nb != nil {
+			out = nb.out[:0]
+		} else {
+			out = make([]Item, 0, len(curElems))
+		}
+		for _, k := range curElems {
+			out = append(out, NodeItem(k, 0))
+		}
+		if nb != nil {
+			nb.out = out
 		}
 		return out
 	}

@@ -171,6 +171,10 @@ type Op struct {
 	Ctx         map[string]*CtxSchema
 	ECC         []string
 	osVal       bool // Order Schema columns hold order-by values, not keys
+
+	// Hot-path precomputations (Analyze):
+	proto      *Table       // empty table of the output shape; clones share Cols/colIdx
+	navSingles []xpath.Path // navigations: one single-step path per Path step
 }
 
 // Plan is an analyzed algebra tree rooted at an Expose operator.
@@ -254,6 +258,15 @@ func Analyze(root *Op) (*Plan, error) {
 		o.ID = id
 		if err := analyzeOp(o, &unionSeq); err != nil {
 			return fmt.Errorf("xat: op %d (%s): %w", o.ID, o.Kind, err)
+		}
+		// The output shape is fixed per operator: build the column index once
+		// here and let every per-round output table share it via CloneShape.
+		o.proto = NewTable(o.OutCols...)
+		if o.Path != nil {
+			o.navSingles = make([]xpath.Path, len(o.Path.Steps))
+			for i := range o.Path.Steps {
+				o.navSingles[i] = xpath.Path{Steps: o.Path.Steps[i : i+1]}
+			}
 		}
 		p.ops = append(p.ops, o)
 		return nil

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"xqview/internal/faultinject"
+	"xqview/internal/flexkey"
 	"xqview/internal/obs"
 	"xqview/internal/xmldoc"
 )
@@ -66,8 +67,35 @@ type StateCache struct {
 	// Per-round staging, cleared by begin():
 	pendingFresh map[int]*cacheEntry
 	pendingDelta map[int]*Table
+	// pendingPromote marks staged tables as arena-backed: they die with the
+	// round transaction, so Prepare must deep-copy them to heap memory
+	// before they may join the cross-round entries map.
+	pendingPromote bool
+
+	// valsBase/valsNew are the engine's string-value memo maps. valsNew
+	// (over the round's UpdatedReader) is valid only within one round and is
+	// recycled cleared; valsBase (over the committed base store) PERSISTS
+	// across rounds — the base store only changes when a round commits, and
+	// Install then deletes exactly the entries the round's update regions
+	// could have changed (keys inside a touched subtree, and their ancestors
+	// whose concatenated text value shifts). Rollback restores the pre-round
+	// store, which is what the memo describes, so it survives rollbacks
+	// verbatim; Invalidate clears it along with the tables.
+	valsBase, valsNew map[flexkey.Key]string
 
 	stats CacheStats
+}
+
+// scratchVals returns the round's value-memo maps: the persistent base-store
+// memo as-is (see the field comment for its invalidation contract) and the
+// per-round updated-reader memo cleared.
+func (c *StateCache) scratchVals() (base, fresh map[flexkey.Key]string) {
+	if c.valsBase == nil {
+		c.valsBase = make(map[flexkey.Key]string)
+		c.valsNew = make(map[flexkey.Key]string)
+	}
+	clear(c.valsNew)
+	return c.valsBase, c.valsNew
 }
 
 // NewStateCache returns an empty cache.
@@ -80,13 +108,16 @@ func NewStateCache() *StateCache {
 }
 
 // begin starts a round: any staging left over from an uncommitted round
-// (e.g. a propagation that errored before apply) is discarded.
-func (c *StateCache) begin() {
+// (e.g. a propagation that errored before apply) is discarded. promote
+// declares that the round's tables live in a round arena and must be
+// deep-copied out at the Prepare boundary.
+func (c *StateCache) begin(promote bool) {
 	if c == nil {
 		return
 	}
 	c.pendingFresh = map[int]*cacheEntry{}
 	c.pendingDelta = map[int]*Table{}
+	c.pendingPromote = promote
 }
 
 // lookup serves operator o's base table from a prior round, if held.
@@ -140,6 +171,10 @@ type PreparedCommit struct {
 	entries   map[int]*cacheEntry
 	folds     int
 	evictions int
+	// dirty is the round's region anchors; Install prunes the persistent
+	// base value memo of every entry whose key is inside one of these
+	// subtrees or on an anchor's ancestor chain.
+	dirty []flexkey.Key
 }
 
 // Prepare builds — without mutating the cache — the entries map a
@@ -161,23 +196,29 @@ func (c *StateCache) Prepare(regions map[string][]*Region) (*PreparedCommit, err
 		return nil, err
 	}
 	rs := xmldoc.RegionSet{}
+	p := &PreparedCommit{entries: make(map[int]*cacheEntry, len(c.entries)+len(c.pendingFresh))}
 	for doc, rgs := range regions {
 		for _, r := range rgs {
 			rs.Add(doc, r.Anchor)
+			p.dirty = append(p.dirty, r.Anchor)
 		}
 	}
-	p := &PreparedCommit{entries: make(map[int]*cacheEntry, len(c.entries)+len(c.pendingFresh))}
 	for id, e := range c.entries {
 		p.entries[id] = e
 	}
 	for id, e := range c.pendingFresh {
+		if c.pendingPromote {
+			// Fresh derivations ran on the round arena; copy them out so
+			// the cached table survives the arena's wholesale release.
+			e = &cacheEntry{tbl: promoteTable(e.tbl), docs: e.docs}
+		}
 		p.entries[id] = e
 	}
 	for id, e := range p.entries {
 		if !rs.TouchesAny(e.docs) {
 			continue
 		}
-		nt, ok := foldTable(e.tbl, c.pendingDelta[id])
+		nt, ok := foldTablePromote(e.tbl, c.pendingDelta[id], c.pendingPromote)
 		if !ok {
 			delete(p.entries, id)
 			p.evictions++
@@ -198,6 +239,19 @@ func (c *StateCache) Install(p *PreparedCommit) {
 		return
 	}
 	c.entries = p.entries
+	// The store now holds the round's mutations: drop every memoized string
+	// value the regions could have changed. A key is affected if it lies in
+	// a touched subtree (its own content changed or it was deleted) or on an
+	// anchor's ancestor chain (its concatenated text now includes/excludes
+	// the mutation). Everything else still reads identically.
+	for k := range c.valsBase {
+		for _, a := range p.dirty {
+			if flexkey.IsSelfOrAncestorOf(a, k) || flexkey.IsSelfOrAncestorOf(k, a) {
+				delete(c.valsBase, k)
+				break
+			}
+		}
+	}
 	c.pendingFresh = map[int]*cacheEntry{}
 	c.pendingDelta = map[int]*Table{}
 	c.stats.Folds += p.folds
@@ -266,6 +320,7 @@ func (c *StateCache) Invalidate() {
 	c.entries = map[int]*cacheEntry{}
 	c.pendingFresh = map[int]*cacheEntry{}
 	c.pendingDelta = map[int]*Table{}
+	clear(c.valsBase)
 	c.stats.Evictions += n
 	c.stats.Entries = 0
 	if obs.Enabled() {
@@ -333,6 +388,15 @@ func tableHasConstructed(t *Table) bool {
 // pass input tuples along), so the fold rebuilds the tuple slice, copying
 // any tuple whose count changes.
 func foldTable(base *Table, delta *Table) (*Table, bool) {
+	return foldTablePromote(base, delta, false)
+}
+
+// foldTablePromote is foldTable with arena promotion: when promote is set,
+// cells taken from the (arena-backed) delta table are deep-copied so the
+// folded table never aliases round-arena memory. Base tuples need no copy —
+// the base table is either a committed entry (promoted in a prior round) or
+// a fresh derivation promoted before the fold.
+func foldTablePromote(base *Table, delta *Table, promote bool) (*Table, bool) {
 	if delta == nil || len(delta.Tuples) == 0 {
 		return base, true
 	}
@@ -390,7 +454,47 @@ func foldTable(base *Table, delta *Table) (*Table, bool) {
 			continue
 		}
 		tp := repr[id]
-		out.Tuples = append(out.Tuples, &Tuple{Cells: tp.Cells, Count: d})
+		cells := tp.Cells
+		if promote {
+			cells = promoteCells(cells)
+		}
+		out.Tuples = append(out.Tuples, &Tuple{Cells: cells, Count: d})
 	}
 	return out, true
+}
+
+// promoteTable deep-copies a (possibly arena-backed) table into heap memory
+// so it can outlive the round arena: the tuple slice, every tuple and every
+// cell backing are copied. Nil cells stay nil (outer-join null padding) and
+// empty non-nil cells stay non-nil (empty collections) — the distinction is
+// semantic (see patternEmpty).
+func promoteTable(t *Table) *Table {
+	out := t.CloneShape()
+	if t.Tuples == nil {
+		return out
+	}
+	out.Tuples = make([]*Tuple, len(t.Tuples))
+	tups := make([]Tuple, len(t.Tuples))
+	for i, tp := range t.Tuples {
+		tups[i] = Tuple{Cells: promoteCells(tp.Cells), Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+		out.Tuples[i] = &tups[i]
+	}
+	return out
+}
+
+// promoteCells deep-copies a tuple's cells, preserving nil vs non-nil empty.
+func promoteCells(cells []Cell) []Cell {
+	if cells == nil {
+		return nil
+	}
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		if c == nil {
+			continue
+		}
+		nc := make(Cell, len(c))
+		copy(nc, c)
+		out[i] = nc
+	}
+	return out
 }

@@ -155,7 +155,7 @@ func TestStateCacheCommitRegions(t *testing.T) {
 	priOp := &Op{ID: 2, Kind: OpSource, Doc: "prices.xml"}
 
 	c := NewStateCache()
-	c.begin()
+	c.begin(false)
 	bibTbl := tableOf(nodeTuple("b", 1))
 	priTbl := tableOf(nodeTuple("p", 1))
 	c.noteFresh(bibOp, bibTbl)
@@ -166,7 +166,7 @@ func TestStateCacheCommitRegions(t *testing.T) {
 	}
 
 	// Round 2: a bib-only region with a foldable delta for the bib entry.
-	c.begin()
+	c.begin(false)
 	c.noteDelta(bibOp, tableOf(deltaTuple("b.d", 1)))
 	c.Commit(map[string][]*Region{
 		"bib.xml": {{Mode: RegionInsert, Anchor: "b.d"}},
@@ -184,7 +184,7 @@ func TestStateCacheCommitRegions(t *testing.T) {
 
 	// Round 3: a prices region whose delta retracts something never held —
 	// the prices entry must be evicted, the bib entry untouched.
-	c.begin()
+	c.begin(false)
 	c.noteDelta(priOp, tableOf(deltaTuple("zz", -1)))
 	c.Commit(map[string][]*Region{
 		"prices.xml": {{Mode: RegionDelete, Anchor: "p"}},
@@ -206,7 +206,7 @@ func TestStateCacheCommitRegions(t *testing.T) {
 	}
 	// A nil cache is inert.
 	var nc *StateCache
-	nc.begin()
+	nc.begin(false)
 	nc.noteFresh(bibOp, bibTbl)
 	nc.noteDelta(bibOp, nil)
 	nc.Commit(nil)
@@ -221,7 +221,7 @@ func TestStateCacheCommitRegions(t *testing.T) {
 func TestStateCacheRejectsConstructed(t *testing.T) {
 	op := &Op{ID: 3, Kind: OpSource, Doc: "bib.xml"}
 	c := NewStateCache()
-	c.begin()
+	c.begin(false)
 	tbl := tableOf(&Tuple{
 		Cells: []Cell{{Item{ID: ID{Constructed: true, Body: "c1"}, Count: 1}}},
 		Count: 1,

@@ -130,6 +130,11 @@ type Table struct {
 	Cols   []string
 	colIdx map[string]int
 	Tuples []*Tuple
+	// alloc, when set, backs growth of the Tuples slice with the round
+	// arena. Only set on engine-internal intermediate tables; tables that
+	// cross the round boundary (state-cache entries, promoted copies) never
+	// carry it.
+	alloc *Alloc
 }
 
 // NewTable creates an empty table with the given columns.
@@ -163,24 +168,61 @@ func (t *Table) Cell(tp *Tuple, name string) Cell {
 	return tp.Cells[t.Col(name)]
 }
 
-// Append adds a tuple.
-func (t *Table) Append(tp *Tuple) { t.Tuples = append(t.Tuples, tp) }
+// Append adds a tuple. Arena-backed tables grow their tuple slice from the
+// round arena instead of the heap.
+func (t *Table) Append(tp *Tuple) {
+	if t.alloc != nil && len(t.Tuples) == cap(t.Tuples) {
+		nc := 2 * cap(t.Tuples)
+		if nc < 8 {
+			nc = 8
+		}
+		grown := t.alloc.makeRefs(len(t.Tuples), nc)
+		copy(grown, t.Tuples)
+		t.Tuples = grown
+	}
+	t.Tuples = append(t.Tuples, tp)
+}
 
 // NewTuple builds a tuple with the given cells, count 1, kind Normal.
 func NewTuple(cells ...Cell) *Tuple {
 	return &Tuple{Cells: cells, Count: 1}
 }
 
-// CloneShape returns an empty table with the same columns.
-func (t *Table) CloneShape() *Table { return NewTable(t.Cols...) }
+// CloneShape returns an empty table with the same columns. The column slice
+// and index are immutable once built, so clones share them instead of
+// rebuilding the map (tables are cloned on every operator evaluation).
+// The arena backing is deliberately not inherited: CloneShape is used to
+// build tables that may cross the round boundary (state-cache folds).
+func (t *Table) CloneShape() *Table { return &Table{Cols: t.Cols, colIdx: t.colIdx} }
 
-// extend returns a tuple that shares tp's cells plus extras appended, and
-// copies the bookkeeping fields.
-func extend(tp *Tuple, extra ...Cell) *Tuple {
-	cells := make([]Cell, 0, len(tp.Cells)+len(extra))
-	cells = append(cells, tp.Cells...)
-	cells = append(cells, extra...)
-	return &Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+// shapeFor returns an empty arena-backed table shaped like t.
+func (a *Alloc) shapeFor(t *Table) *Table {
+	return &Table{Cols: t.Cols, colIdx: t.colIdx, alloc: a}
+}
+
+// extend returns a tuple that shares tp's cells plus one extra cell
+// appended, copying the bookkeeping fields. The new cell slice comes from
+// the round arena when a is non-nil.
+func extend(a *Alloc, tp *Tuple, extra Cell) *Tuple {
+	n := len(tp.Cells)
+	cells := a.makeCells(n+1, n+1)
+	copy(cells, tp.Cells)
+	cells[n] = extra
+	t := a.tuple()
+	*t = Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+	return t
+}
+
+// extendCells is extend with any number of extra cells (outer-join padding,
+// merge columns).
+func extendCells(a *Alloc, tp *Tuple, extra []Cell) *Tuple {
+	n := len(tp.Cells)
+	cells := a.makeCells(n+len(extra), n+len(extra))
+	copy(cells, tp.Cells)
+	copy(cells[n:], extra)
+	t := a.tuple()
+	*t = Tuple{Cells: cells, Count: tp.Count, Kind: tp.Kind, Region: tp.Region}
+	return t
 }
 
 // String renders the table for debugging.

@@ -2,7 +2,7 @@ package xat
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -122,15 +122,28 @@ func Deref(env *Env, it Item, count int) *VNode {
 }
 
 func copyBase(r xmldoc.Reader, nd *xmldoc.Node, count int) *VNode {
-	n := &VNode{ID: BaseID(nd.Key), Kind: nd.Kind, Name: nd.Name, Value: nd.Value, Count: count}
-	for _, a := range r.Attrs(nd.Key) {
-		if an, ok := r.Node(a); ok {
-			n.Attrs = append(n.Attrs, copyBase(r, an, count))
+	return copyBaseAlloc(nil, r, nd, count)
+}
+
+// copyBaseAlloc is copyBase with an optional round arena: the delta engine's
+// update trees are transient, so their base-subtree copies need not touch
+// the heap. Materialization passes nil and gets plain heap nodes.
+func copyBaseAlloc(a *Alloc, r xmldoc.Reader, nd *xmldoc.Node, count int) *VNode {
+	n := a.vnode(VNode{ID: BaseID(nd.Key), Kind: nd.Kind, Name: nd.Name, Value: nd.Value, Count: count})
+	if aks := r.Attrs(nd.Key); len(aks) > 0 {
+		n.Attrs = a.MakeVNodeRefs(0, len(aks))
+		for _, ak := range aks {
+			if an, ok := r.Node(ak); ok {
+				n.Attrs = append(n.Attrs, copyBaseAlloc(a, r, an, count))
+			}
 		}
 	}
-	for _, c := range r.Children(nd.Key) {
-		if cn, ok := r.Node(c); ok {
-			n.Children = append(n.Children, copyBase(r, cn, count))
+	if cks := r.Children(nd.Key); len(cks) > 0 {
+		n.Children = a.MakeVNodeRefs(0, len(cks))
+		for _, ck := range cks {
+			if cn, ok := r.Node(ck); ok {
+				n.Children = append(n.Children, copyBaseAlloc(a, r, cn, count))
+			}
 		}
 	}
 	return n
@@ -139,12 +152,8 @@ func copyBase(r xmldoc.Reader, nd *xmldoc.Node, count int) *VNode {
 // sortVNodes orders sibling view nodes by their order keys, ties broken by
 // identity so base fragments stay in document order.
 func sortVNodes(ns []*VNode) {
-	sort.SliceStable(ns, func(i, j int) bool {
-		oi, oj := ns[i].ID.Order(), ns[j].ID.Order()
-		if cmp := CompareOrd(oi, oj); cmp != 0 {
-			return cmp < 0
-		}
-		return false
+	slices.SortStableFunc(ns, func(a, b *VNode) int {
+		return CompareOrd(a.ID.Order(), b.ID.Order())
 	})
 }
 

@@ -74,23 +74,55 @@ func StringValue(r Reader, k flexkey.Key) string {
 	case Text, Attr:
 		return n.Value
 	}
+	// Fast path: most elements the engine compares by value are leaves with
+	// a single text node — return it directly, no builder.
+	var text string
+	count := 0
+	subtreeSingleText(r, k, &text, &count)
+	if count <= 1 {
+		return text
+	}
 	var b strings.Builder
-	var walk func(flexkey.Key)
-	walk = func(p flexkey.Key) {
-		for _, c := range r.Children(p) {
-			cn, ok := r.Node(c)
-			if !ok {
-				continue
+	subtreeTextInto(&b, r, k)
+	return b.String()
+}
+
+// subtreeSingleText scans p's subtree for text nodes, recording the first
+// and stopping as soon as a second one is seen.
+func subtreeSingleText(r Reader, p flexkey.Key, text *string, count *int) {
+	for _, c := range r.Children(p) {
+		if *count > 1 {
+			return
+		}
+		cn, ok := r.Node(c)
+		if !ok {
+			continue
+		}
+		if cn.Kind == Text {
+			*count++
+			if *count == 1 {
+				*text = cn.Value
+			} else {
+				return
 			}
-			if cn.Kind == Text {
-				b.WriteString(cn.Value)
-			} else if cn.Kind == Element {
-				walk(c)
-			}
+		} else if cn.Kind == Element {
+			subtreeSingleText(r, c, text, count)
 		}
 	}
-	walk(k)
-	return b.String()
+}
+
+func subtreeTextInto(b *strings.Builder, r Reader, p flexkey.Key) {
+	for _, c := range r.Children(p) {
+		cn, ok := r.Node(c)
+		if !ok {
+			continue
+		}
+		if cn.Kind == Text {
+			b.WriteString(cn.Value)
+		} else if cn.Kind == Element {
+			subtreeTextInto(b, r, c)
+		}
+	}
 }
 
 // SubtreeFrag extracts the subtree rooted at k as a detached fragment.

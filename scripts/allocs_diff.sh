@@ -1,0 +1,60 @@
+#!/bin/sh
+# allocs_diff.sh — compare two BENCH_PR*.json captures on allocs_per_op, the
+# allocation-gate companion to bench_diff.sh's ns/op gate. Benchmarks are
+# matched by name; only names carrying allocs_per_op in both files are
+# compared. Exits 1 if any shared benchmark's allocs/op grew by more than
+# the threshold (default 5%) — the arena makes allocation count a guarded
+# budget, not an incidental statistic, so a new heap alloc on the round hot
+# path fails the build instead of slowly eating the PR 6 win.
+#
+# An optional name filter (egrep pattern) restricts the comparison to
+# matching benchmarks, mirroring bench_diff.sh.
+#
+# Usage: scripts/allocs_diff.sh old.json new.json [threshold_pct] [name_egrep]
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 old.json new.json [threshold_pct] [name_egrep]" >&2
+	exit 2
+fi
+old="$1"
+new="$2"
+threshold="${3:-5}"
+filter="${4:-.}"
+
+# The capture scripts emit one result object per line, so a line-oriented
+# awk extraction of (name, allocs_per_op) is exact for these files.
+extract() {
+	awk '
+		/"name":/ && /"allocs_per_op":/ {
+			name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+			al = $0; sub(/.*"allocs_per_op": /, "", al); sub(/[,}].*/, "", al)
+			print name, al
+		}
+	' "$1" | grep -E -- "$filter" || true
+}
+
+extract "$old" >"${TMPDIR:-/tmp}/allocs_diff_old.$$"
+extract "$new" >"${TMPDIR:-/tmp}/allocs_diff_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/allocs_diff_old.$$" "${TMPDIR:-/tmp}/allocs_diff_new.$$"' EXIT
+
+awk -v threshold="$threshold" -v oldfile="$old" -v newfile="$new" '
+	NR == FNR { old[$1] = $2; next }
+	{
+		if (!($1 in old)) next
+		shared++
+		delta = 100 * ($2 - old[$1]) / old[$1]
+		printf "%-60s %14.0f %14.0f %+8.1f%%\n", $1, old[$1], $2, delta
+		if (delta > threshold) {
+			regressed++
+			printf "REGRESSION: %s allocs/op up %.1f%% (threshold %s%%)\n", $1, delta, threshold
+		}
+	}
+	END {
+		if (!shared) {
+			printf "no shared benchmarks between %s and %s\n", oldfile, newfile
+			exit 2
+		}
+		if (regressed) exit 1
+	}
+' "${TMPDIR:-/tmp}/allocs_diff_old.$$" "${TMPDIR:-/tmp}/allocs_diff_new.$$"

@@ -5,16 +5,21 @@
 # compared. Exits 1 if any shared benchmark regressed by more than the
 # threshold (default 15%).
 #
-# Usage: scripts/bench_diff.sh old.json new.json [threshold_pct]
+# An optional name filter (egrep pattern) restricts the comparison to
+# matching benchmarks — for pairs where some arms trade off deliberately
+# (e.g. a slower rollback path buying a faster commit path).
+#
+# Usage: scripts/bench_diff.sh old.json new.json [threshold_pct] [name_egrep]
 set -eu
 
 if [ $# -lt 2 ]; then
-	echo "usage: $0 old.json new.json [threshold_pct]" >&2
+	echo "usage: $0 old.json new.json [threshold_pct] [name_egrep]" >&2
 	exit 2
 fi
 old="$1"
 new="$2"
 threshold="${3:-15}"
+filter="${4:-.}"
 
 # The capture scripts emit one result object per line, so a line-oriented
 # awk extraction of (name, ns_per_op) is exact for these files.
@@ -25,7 +30,7 @@ extract() {
 			ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
 			print name, ns
 		}
-	' "$1"
+	' "$1" | grep -E -- "$filter" || true
 }
 
 extract "$old" >"${TMPDIR:-/tmp}/bench_diff_old.$$"

@@ -1,0 +1,72 @@
+#!/bin/sh
+# bench_pr6.sh — capture the PR 6 arena + batch-compaction benchmarks into
+# BENCH_PR6.json. BenchmarkMaintainCached and BenchmarkMaintainTransactional
+# re-run under the same names as BENCH_PR5.json so scripts/bench_diff.sh and
+# scripts/allocs_diff.sh can compare the captures: PR 6 moved the round's
+# tuple traffic into a round-scoped arena and compacts the primitive batch
+# before validation, so the cached-join round is required to get at least
+# 2x faster and 3x lighter in allocs/op (see ISSUE.md) and check.sh holds
+# the pair to "no regression" thresholds. BenchmarkDeltaNav prices one
+# propagate round arena-on vs arena-off at the engine level.
+#
+# Each benchmark runs -count times and the capture stores the per-name MEAN,
+# because the benchmark machine is noisy.
+#
+# Usage: scripts/bench_pr6.sh [benchtime] [count]
+#   benchtime  go test -benchtime value (default 10x)
+#   count      go test -count value (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+count="${2:-3}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainCached|BenchmarkMaintainTransactional' \
+	-benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
+go test -run '^$' -bench 'BenchmarkDeltaNav|BenchmarkTupleConstructors' \
+	-benchmem -benchtime "$benchtime" -count "$count" ./internal/xat/ | tee -a "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 6,\n'
+	printf '  "benchmark": "BenchmarkMaintainCached+BenchmarkMaintainTransactional+BenchmarkDeltaNav+BenchmarkTupleConstructors",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "count": %s,\n' "$count"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		/^Benchmark(MaintainCached|MaintainTransactional|DeltaNav|TupleConstructors)/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns[name] += $i
+				else if ($(i+1) == "B/op") { bytes[name] += $i; hasb[name] = 1 }
+				else if ($(i+1) == "allocs/op") { allocs[name] += $i; hasa[name] = 1 }
+				else if ($(i+1) == "views_skipped/op") { skips[name] += $i; hass[name] = 1 }
+			}
+			iters[name] += $2
+			if (!(name in runs)) order[no++] = name
+			runs[name]++
+		}
+		END {
+			for (j = 0; j < no; j++) {
+				name = order[j]; n = runs[name]
+				line = sprintf("    {\"name\": \"%s\", \"runs\": %d, \"iterations\": %d, \"ns_per_op\": %.0f", \
+					name, n, iters[name] / n, ns[name] / n)
+				if (hasb[name]) line = line sprintf(", \"bytes_per_op\": %.0f", bytes[name] / n)
+				if (hasa[name]) line = line sprintf(", \"allocs_per_op\": %.0f", allocs[name] / n)
+				if (hass[name]) line = line sprintf(", \"views_skipped_per_op\": %.3f", skips[name] / n)
+				line = line "}"
+				if (j) printf(",\n")
+				printf("%s", line)
+			}
+			printf("\n")
+		}
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR6.json
+
+echo "wrote BENCH_PR6.json" >&2

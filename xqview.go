@@ -85,6 +85,31 @@ func (db *Database) SetSkipDisjointViews(on bool) {
 	db.opts.SkipDisjointViews = on
 }
 
+// SetArena toggles round-scoped arena allocation for maintenance rounds
+// (on by default). With the arena on, each round's transient tuples, cells
+// and delta trees are bump-allocated from recycled chunks released wholesale
+// at commit or rollback; with it off every allocation goes to the Go heap.
+// Results are byte-identical either way — the switch exists for debugging
+// and for measuring the arena's effect. Builds made with -tags arena_off
+// have no arena regardless of this setting.
+func (db *Database) SetArena(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.DisableArena = !on
+}
+
+// SetCompaction toggles delta-batch compaction (on by default): before
+// validation, each round's primitive batch is normalized — repeated replaces
+// of one node collapse to the last write, inserts into in-batch inserted
+// fragments are spliced into them, and insert+delete pairs of the same node
+// annihilate. Every decision is journaled, so explain output stays truthful
+// about dropped primitives.
+func (db *Database) SetCompaction(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.DisableCompaction = !on
+}
+
 // SetTracer attaches an observability tracer: every maintenance batch
 // records spans for the VPA phases of each view and for every operator of
 // the propagated plans. Write the result with obs.Tracer.WriteJSON and open
