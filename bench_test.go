@@ -390,6 +390,51 @@ func BenchmarkMaintainTransactional(b *testing.B) {
 	b.Run("rollback", func(b *testing.B) { run(b, "deepunion.apply") })
 }
 
+// BenchmarkMaintainTelemetry is the PR 7 round-telemetry overhead benchmark:
+// the BenchmarkMaintainCached/cache=on round (1000-book cached join, one
+// small insert per round) with the obs gate off and on. The on arm pays the
+// whole recording pipeline — phase histograms, the per-round RoundSample
+// (cache-stat diffing, arena footprint, the runtime/metrics heap-allocs
+// probe) and the ring append; comparing the arms (scripts/bench_pr7.sh into
+// BENCH_PR7.json) bounds that cost at 1% in check.sh. The off arm must stay
+// identical to BenchmarkMaintainCached/cache=on, since disabled telemetry is
+// one atomic load.
+func BenchmarkMaintainTelemetry(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		on   bool
+	}{
+		{"obs=off", false},
+		{"obs=on", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			defer obs.SetEnabled(obs.SetEnabled(arm.on))
+			defer obs.Rounds.Reset()
+			s := benchBibStore(b, 1000)
+			v, err := core.NewView(s, bench.BibQ2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			views := []*core.View{v}
+			bib, _ := s.RootElem("bib.xml")
+			opts := core.Options{Parallelism: 1, CacheBaseTables: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+					Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1993"),
+						xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("tm-%d", i))))}}
+				if _, err := core.MaintainAll(s, views, prims, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if arm.on && obs.Rounds.Total() == 0 {
+				b.Fatal("telemetry arm recorded no round samples")
+			}
+		})
+	}
+}
+
 func BenchmarkRecomputeBaseline(b *testing.B) {
 	s := benchBibStore(b, 500)
 	bib, _ := s.RootElem("bib.xml")

@@ -82,4 +82,40 @@ if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then
 	scripts/allocs_diff.sh BENCH_PR5.json BENCH_PR6.json 5 >&2
 fi
 
+# PR 7 round telemetry: the xqtop dashboard must build, and its golden
+# frames must hold at both reference terminal sizes (the renderer is pure,
+# so the frames are fully deterministic).
+echo "== xqtop build + golden frames" >&2
+go build ./cmd/xqtop ./cmd/xqview
+go test ./internal/top/ -run 'TestRenderGolden|TestRenderShape' >&2
+
+# The PR6→PR7 pair is a parity lock: round telemetry is gated on
+# obs.Enabled(), so the default-off maintenance arms must not move (3% ns/op
+# noise margin, 5% allocs). Within the PR 7 capture itself, the obs=on arm
+# of BenchmarkMaintainTelemetry prices the whole enabled pipeline on the
+# 1000-book cached join round and is bounded at 1% over its obs=off twin.
+if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
+	echo "== bench_diff BENCH_PR6.json BENCH_PR7.json (3% gate, maintenance arms)" >&2
+	scripts/bench_diff.sh BENCH_PR6.json BENCH_PR7.json 3 'cache=on|cache=off|commit|rollback' >&2
+	echo "== allocs_diff BENCH_PR6.json BENCH_PR7.json (5% gate)" >&2
+	scripts/allocs_diff.sh BENCH_PR6.json BENCH_PR7.json 5 >&2
+fi
+if [ -f BENCH_PR7.json ]; then
+	echo "== telemetry-on overhead (1% gate, BenchmarkMaintainTelemetry)" >&2
+	awk '
+		/"name": "BenchmarkMaintainTelemetry\/obs=off"/ {
+			off = $0; sub(/.*"ns_per_op": /, "", off); sub(/[,}].*/, "", off)
+		}
+		/"name": "BenchmarkMaintainTelemetry\/obs=on"/ {
+			on = $0; sub(/.*"ns_per_op": /, "", on); sub(/[,}].*/, "", on)
+		}
+		END {
+			if (!off || !on) { print "BENCH_PR7.json missing telemetry arms"; exit 2 }
+			delta = 100 * (on - off) / off
+			printf "telemetry on/off: %.0f / %.0f ns/op (%+.2f%%, threshold 1%%)\n", on, off, delta
+			if (delta > 1) { printf "REGRESSION: enabled telemetry costs %.2f%% > 1%%\n", delta; exit 1 }
+		}
+	' BENCH_PR7.json >&2
+fi
+
 echo "check.sh: all green" >&2

@@ -1,0 +1,144 @@
+// Command xqtop is a live terminal dashboard over a serving xqview process:
+// it polls the /stats/rounds endpoint of `xqview -http ADDR -serve` and
+// redraws the round-telemetry frame — per-phase latency sparklines, quantile
+// tiles, cache/skip/compaction rates, arena occupancy and the aborted-round
+// log — until interrupted.
+//
+// Usage:
+//
+//	xqtop [-addr http://localhost:6060] [-interval 1s] [-w N -h N] [-once]
+//
+// -once fetches and prints a single frame without touching the terminal
+// (for scripts, tests and README captures). Without -once, xqtop switches
+// to the alternate screen and redraws in place every interval; the frame is
+// sized to the terminal, or to -w/-h when given. SIGINT/SIGTERM restores
+// the screen and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xqview/internal/top"
+)
+
+// Alternate-screen control: enter/hide cursor on start, restore on exit.
+// Frames are fully padded, so redrawing needs only a cursor-home.
+const (
+	enterAlt   = "\x1b[?1049h\x1b[?25l\x1b[2J"
+	leaveAlt   = "\x1b[?25h\x1b[?1049l"
+	cursorHome = "\x1b[H"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "xqtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("xqtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:6060", "base URL of the serving xqview observability endpoint")
+	interval := fs.Duration("interval", time.Second, "poll/redraw interval")
+	width := fs.Int("w", 0, "frame width (0 = terminal width, fallback 80)")
+	height := fs.Int("h", 0, "frame height (0 = terminal height, fallback 24)")
+	once := fs.Bool("once", false, "print one frame and exit (no terminal control)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		// Accept the bare host:port xqview -http prints.
+		base = "http://" + base
+	}
+	url := base + "/stats/rounds"
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	size := func() (int, int) {
+		w, h := *width, *height
+		if w > 0 && h > 0 {
+			return w, h
+		}
+		tw, th, ok := top.TermSize(os.Stdout.Fd())
+		if !ok {
+			tw, th = 80, 24
+		}
+		if w <= 0 {
+			w = tw
+		}
+		if h <= 0 {
+			h = th
+		}
+		return w, h
+	}
+
+	if *once {
+		f, err := fetch(client, url)
+		if err != nil {
+			return err
+		}
+		w, h := size()
+		fmt.Fprintln(stdout, top.Render(f, w, h))
+		return nil
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	fmt.Fprint(stdout, enterAlt)
+	defer fmt.Fprint(stdout, leaveAlt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		f, err := fetch(client, url)
+		w, h := size()
+		if err != nil {
+			// Keep polling through restarts of the serving process; the
+			// error is shown in place of a frame.
+			fmt.Fprint(stdout, cursorHome, pad(fmt.Sprintf(" xqtop: %v (retrying)", err), w))
+		} else {
+			fmt.Fprint(stdout, cursorHome, top.Render(f, w, h))
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// fetch polls one round-telemetry payload.
+func fetch(client *http.Client, url string) (top.Frame, error) {
+	var f top.Frame
+	resp, err := client.Get(url)
+	if err != nil {
+		return f, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return f, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		return f, fmt.Errorf("%s: %w", url, err)
+	}
+	return f, nil
+}
+
+// pad space-pads or truncates s to w runes (error-line rendering).
+func pad(s string, w int) string {
+	r := []rune(s)
+	if len(r) > w {
+		return string(r[:w])
+	}
+	return s + strings.Repeat(" ", w-len(r))
+}

@@ -7,7 +7,7 @@
 //	       [-updates updates.xqu | -replay stream.jsonl] [-record stream.jsonl] \
 //	       [-journal] [-explain view=flexkey] [-plan] [-sapt] [-report] \
 //	       [-pretty] [-parallel N] [-cache] [-arena=off] [-compact=off] \
-//	       [-trace out.json] [-http :6060] [-serve] [-logjson] [-v] \
+//	       [-trace out.json] [-http :6060] [-serve] [-top] [-logjson] [-v] \
 //	       [-fault site[:error|panic[:hit]]]
 //
 // The view is materialized and printed. With -updates, the update script is
@@ -22,9 +22,12 @@
 // Observability: -trace records every VPA phase and XAT operator as spans
 // and writes Chrome trace-event JSON (open in chrome://tracing or Perfetto
 // at https://ui.perfetto.dev). -http serves /metrics (Prometheus text),
-// /debug/vars (expvar), /debug/pprof/ and /journal for the lifetime of the
-// process; add -serve to keep the process alive for scraping after the run
+// /debug/vars (expvar), /debug/pprof/, /journal, /healthz and /stats/rounds
+// (round-telemetry JSON: the windowed per-round sample ring plus phase
+// latency quantiles, polled by cmd/xqtop) for the lifetime of the process;
+// add -serve to keep the process alive for scraping after the run
 // (SIGINT/SIGTERM shuts down and still flushes -trace and -journal output).
+// -top draws the xqtop dashboard in-process instead of over HTTP.
 //
 // Provenance: -journal dumps the maintenance journal (per-round verdicts,
 // operator lineage and apply fusions) as JSON; -explain view=key (or just
@@ -54,12 +57,35 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"xqview"
 	"xqview/internal/faultinject"
 	"xqview/internal/journal"
 	"xqview/internal/obs"
+	"xqview/internal/top"
 )
+
+// journalExtras injects the journal ring's occupancy and recent abort
+// records into the /stats/rounds payload — the obs layer cannot import the
+// journal, so the context is threaded in here at the mounting layer.
+func journalExtras() map[string]any {
+	var aborted []any
+	for _, r := range journal.Default.Rounds() {
+		if r.Aborted {
+			aborted = append(aborted, fmt.Sprintf("round %d: %s", r.ID, r.Error))
+		}
+	}
+	m := map[string]any{
+		"journal_rounds":  journal.Default.Len(),
+		"journal_cap":     journal.Default.Cap(),
+		"journal_dropped": journal.Default.Dropped(),
+	}
+	if aborted != nil {
+		m["journal_aborted"] = aborted
+	}
+	return m
+}
 
 // testShutdown, when non-nil, replaces the SIGINT/SIGTERM wait in serve
 // mode so tests can trigger a deterministic shutdown.
@@ -111,8 +137,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	arenaFlag := fs.String("arena", "on", "round-scoped arena allocation for maintenance transients, on|off (off = plain heap allocation; results identical)")
 	compactFlag := fs.String("compact", "on", "pre-validation update-batch normalization, on|off (cancel insert+delete pairs, coalesce repeated replaces, merge adjacent inserts; decisions are journaled)")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON of the maintenance run to this file")
-	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars, /debug/pprof and /stats/rounds on this address (e.g. :6060)")
 	serve := fs.Bool("serve", false, "with -http: keep serving after the run instead of exiting")
+	topFlag := fs.Bool("top", false, "after the run, draw the in-process round-telemetry dashboard until interrupted (implies telemetry; combinable with -http)")
 	logJSON := fs.Bool("logjson", false, "emit log lines as JSON instead of key=value text")
 	verbose := fs.Bool("v", false, "log at debug level")
 	journalDump := fs.Bool("journal", false, "dump the maintenance journal (verdicts, lineage, fusions) as JSON to stdout")
@@ -178,6 +205,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		db.SetTracer(tracer)
 		obs.SetEnabled(true)
 	}
+	if *topFlag {
+		// The dashboard reads the round ring; recording must be on before
+		// the first maintenance round runs.
+		obs.SetEnabled(true)
+	}
 	if *httpAddr != "" {
 		obs.SetEnabled(true)
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -185,11 +217,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("observability endpoint: %w", err)
 		}
 		srv := &http.Server{Handler: obs.Handler(obs.Default,
-			obs.Route{Pattern: "/journal", Handler: journal.Default.HTTPHandler()})}
+			obs.Route{Pattern: "/journal", Handler: journal.Default.HTTPHandler()},
+			obs.Route{Pattern: "/stats/rounds", Handler: obs.RoundsHandler(obs.Default, obs.Rounds, journalExtras)})}
 		go srv.Serve(ln)
 		defer ln.Close()
 		log.Info("observability endpoint up", "addr", ln.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/ /journal")
+			"paths", "/metrics /debug/vars /debug/pprof/ /journal /stats/rounds")
 	}
 
 	for _, d := range docs {
@@ -233,7 +266,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return v.XML()
 	}
 	finish := func() error {
-		if *httpAddr != "" && *serve {
+		if *topFlag {
+			log.Info("dashboard up; interrupt to quit")
+			topLoop(stdout)
+			log.Info("shutting down; flushing observability output")
+		} else if *httpAddr != "" && *serve {
 			log.Info("serving until interrupted", "addr", *httpAddr)
 			waitShutdown()
 			log.Info("shutting down; flushing observability output")
@@ -302,6 +339,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stdout, render())
 	return finish()
+}
+
+// topLoop draws the in-process round-telemetry dashboard until the process
+// is interrupted: the same renderer cmd/xqtop uses, fed straight from the
+// obs registry and round ring instead of over HTTP. On a real terminal it
+// redraws in place on the alternate screen; piped output (tests, captures)
+// gets plain full frames.
+func topLoop(w io.Writer) {
+	width, height := 80, 24
+	isTerm := false
+	if f, ok := w.(*os.File); ok {
+		if tw, th, ok := top.TermSize(f.Fd()); ok {
+			width, height, isTerm = tw, th, true
+		}
+	}
+	if isTerm {
+		fmt.Fprint(w, "\x1b[?1049h\x1b[?25l\x1b[2J")
+		defer fmt.Fprint(w, "\x1b[?25h\x1b[?1049l")
+	}
+	done := make(chan struct{})
+	go func() {
+		waitShutdown()
+		close(done)
+	}()
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		frame := top.Render(obs.BuildRoundsPayload(obs.Default, obs.Rounds, journalExtras), width, height)
+		if isTerm {
+			fmt.Fprint(w, "\x1b[H", frame)
+		} else {
+			fmt.Fprintln(w, frame)
+		}
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+	}
 }
 
 // onOff parses an on|off flag value.

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqview/internal/obs"
+)
+
+const topTestDoc = `<bib><book year="1994"><title>A</title></book><book year="2000"><title>B</title></book></bib>`
+const topTestQuery = `<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>`
+const topTestUpdates = `
+for $b in document("bib.xml")/bib/book
+where $b/title = "B"
+update $b
+delete $b`
+
+// TestRunTopFlag drives the in-process dashboard: -top must enable
+// telemetry, run the maintenance round, draw at least one frame reflecting
+// it, and exit on the shutdown signal. Piped output (a non-terminal writer)
+// must stay free of ANSI control sequences.
+func TestRunTopFlag(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false)) // -top enables globally; restore
+	obs.Rounds.Reset()
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", topTestDoc)
+	query := write(t, dir, "q.xq", topTestQuery)
+	upd := write(t, dir, "u.xqu", topTestUpdates)
+	testShutdown = make(chan os.Signal, 1)
+	testShutdown <- os.Interrupt
+	defer func() { testShutdown = nil }()
+	var out, errw strings.Builder
+	err := run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+		"-updates", upd, "-top"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "dashboard up") {
+		t.Fatalf("stderr missing dashboard log:\n%s", errw.String())
+	}
+	frame := out.String()
+	for _, want := range []string{" xqtop · rounds 1 ", "propagate", "telemetry on", "prims 1→1"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("dashboard frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatal("piped dashboard output contains terminal control sequences")
+	}
+}
+
+// syncBuf is a mutex-guarded writer: the serve-mode test reads stderr while
+// run() is still logging from its goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestStatsRoundsEndpointServes exercises the full serving path end to end:
+// xqview -http -serve mounts /stats/rounds and /healthz, a real maintenance
+// round lands in the payload, and the round counter shows up in the health
+// probe — exactly what cmd/xqtop polls.
+func TestStatsRoundsEndpointServes(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false)) // -http enables globally; restore
+	obs.Rounds.Reset()
+	dir := t.TempDir()
+	doc := write(t, dir, "bib.xml", topTestDoc)
+	query := write(t, dir, "q.xq", topTestQuery)
+	upd := write(t, dir, "u.xqu", topTestUpdates)
+	testShutdown = make(chan os.Signal, 1)
+	defer func() { testShutdown = nil }()
+	var out, errw syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-doc", "bib.xml=" + doc, "-query", query,
+			"-updates", upd, "-http", "127.0.0.1:0", "-serve"}, &out, &errw)
+	}()
+	var addr string
+	for i := 0; i < 500 && addr == ""; i++ {
+		if s := errw.String(); strings.Contains(s, "serving until interrupted") {
+			for _, f := range strings.Fields(s) {
+				if rest, ok := strings.CutPrefix(f, "addr=127.0.0.1:"); ok {
+					addr = "127.0.0.1:" + rest
+					break
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		testShutdown <- os.Interrupt
+		<-done
+		t.Fatalf("endpoint never came up:\n%s", errw.String())
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/stats/rounds", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload obs.RoundsPayload
+	jerr := json.NewDecoder(resp.Body).Decode(&payload)
+	resp.Body.Close()
+	if jerr != nil {
+		t.Fatalf("/stats/rounds is not a RoundsPayload: %v", jerr)
+	}
+	if !payload.Enabled || payload.RoundsTotal != 1 || len(payload.Window) != 1 {
+		t.Fatalf("payload = enabled %v rounds %d window %d, want one live round",
+			payload.Enabled, payload.RoundsTotal, len(payload.Window))
+	}
+	if s := payload.Window[0]; s.Aborted || s.Views != 1 || s.TotalNS <= 0 {
+		t.Fatalf("round sample implausible: %+v", s)
+	}
+	if q := payload.Quantiles["propagate"]; q.N < 1 {
+		t.Fatalf("propagate quantiles empty: %+v", payload.Quantiles)
+	}
+	for _, key := range []string{"journal_rounds", "journal_cap", "journal_dropped"} {
+		if _, ok := payload.Extras[key]; !ok {
+			t.Fatalf("extras missing %q: %v", key, payload.Extras)
+		}
+	}
+
+	hr, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Rounds uint64 `json:"rounds"`
+	}
+	herr := json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if herr != nil || health.Status != "ok" || health.Rounds != 1 {
+		t.Fatalf("healthz = %+v (err %v), want ok with 1 round", health, herr)
+	}
+
+	testShutdown <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+}

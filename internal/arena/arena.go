@@ -116,3 +116,22 @@ func (p *Pool[T]) Reset(poison bool) {
 func (p *Pool[T]) Retained() int {
 	return len(p.chunks) * p.size()
 }
+
+// Footprint reports the pool's current occupancy: elements bump-allocated
+// since the last Reset (chunks before the one being filled count as full —
+// the bump pointer only advances past a chunk when its remaining capacity
+// cannot serve a request) and the number of backing allocations (retained
+// chunks in use plus oversized one-offs). It is the round-telemetry view of
+// the arena: a sample of Footprint just before the owning transaction's
+// Release prices the round's arena traffic.
+func (p *Pool[T]) Footprint() (elems, chunks int) {
+	if p.ci < len(p.chunks) && (p.ci > 0 || p.n > 0) {
+		elems = p.ci*p.size() + p.n
+		chunks = p.ci + 1
+	}
+	for _, b := range p.big {
+		elems += cap(b)
+	}
+	chunks += len(p.big)
+	return elems, chunks
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"runtime/metrics"
+
+	"xqview/internal/obs"
+	"xqview/internal/xat"
+)
+
+// Round telemetry: maintainAll assembles one obs.RoundSample per round from
+// the stats the pipeline already produces — phase durations and deep-union
+// traffic from MaintStats, cache activity as a lifetime-counter diff across
+// the round, arena occupancy sampled just before the round transaction
+// releases its arenas, and a heap-object delta from runtime/metrics. All of
+// it is gated on obs.Enabled() once at round start, so the disabled path
+// pays one atomic load and allocates nothing.
+
+// heapAllocObjects reads the runtime's cumulative heap-object allocation
+// counter; the delta across a round is the live allocs-per-round signal
+// xqtop shows next to the benchmark's allocs/op.
+func heapAllocObjects() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// sumCacheStats folds every view's lifetime cache counters into one total;
+// diffed across the round via CacheStats.Sub it yields the round's cache
+// activity. Entries sums to the current level, not a delta.
+func sumCacheStats(views []*View) xat.CacheStats {
+	var t xat.CacheStats
+	for _, v := range views {
+		s := v.CacheStats()
+		obs.AddFields(&t, s)
+	}
+	return t
+}
+
+// roundProbe carries the start-of-round snapshots a RoundSample is diffed
+// against. The zero value means telemetry was disabled at round start.
+type roundProbe struct {
+	active      bool
+	cacheBefore xat.CacheStats
+	heapBefore  uint64
+}
+
+// beginRoundProbe snapshots the diffable counters when telemetry is on.
+func beginRoundProbe(views []*View) roundProbe {
+	if !obs.Enabled() {
+		return roundProbe{}
+	}
+	return roundProbe{
+		active:      true,
+		cacheBefore: sumCacheStats(views),
+		heapBefore:  heapAllocObjects(),
+	}
+}
+
+// sample assembles the finished round's RoundSample. out is the per-view
+// stats of a committed round; arenaBytes/arenaChunks were sampled before the
+// round transaction released its arenas.
+func (p roundProbe) sample(out []*MaintStats, views []*View, primsIn, primsOut int, arenaBytes int64, arenaChunks int) obs.RoundSample {
+	s := obs.RoundSample{
+		PrimsIn:     int32(primsIn),
+		PrimsOut:    int32(primsOut),
+		Views:       int32(len(views)),
+		ArenaBytes:  arenaBytes,
+		ArenaChunks: int32(arenaChunks),
+	}
+	if len(out) > 0 {
+		s.ValidateNS = out[0].Validate.Nanoseconds()
+		s.SourceNS = out[0].Source.Nanoseconds()
+		s.TotalNS = out[0].Total.Nanoseconds()
+	}
+	for _, ms := range out {
+		s.PropagateNS += ms.Propagate.Nanoseconds()
+		s.ApplyNS += ms.Apply.Nanoseconds()
+		s.Skipped += int32(ms.Skipped)
+		s.DeltaRoots += int32(ms.DeltaRoots)
+		s.Merged += int32(ms.Union.Merged)
+		s.Inserted += int32(ms.Union.Inserted)
+		s.Removed += int32(ms.Union.Removed)
+		s.Modified += int32(ms.Union.Modified)
+	}
+	d := sumCacheStats(views).Sub(p.cacheBefore)
+	s.CacheHits = int32(d.Hits)
+	s.CacheMisses = int32(d.Misses)
+	s.CacheFolds = int32(d.Folds)
+	s.CacheEvicts = int32(d.Evictions)
+	s.HeapAllocs = int64(heapAllocObjects() - p.heapBefore)
+	return s
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"xqview/internal/obs"
+	"xqview/internal/update"
+	"xqview/internal/xat"
+)
+
+// TestRoundTelemetrySample checks the success-path recording site: an
+// enabled maintenance round appends exactly one RoundSample whose fields
+// reflect the round's actual work — phase times, batch sizes, view counts,
+// deep-union traffic and cache deltas.
+func TestRoundTelemetrySample(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	obs.Rounds.Reset()
+	s, views, prims := obsFixture(t)
+	opt := Options{Parallelism: 2, CacheBaseTables: true}
+	if _, err := MaintainAll(s, views, prims, opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Rounds.Total(); got != 1 {
+		t.Fatalf("rounds recorded = %d, want 1", got)
+	}
+	sm, ok := obs.Rounds.Last()
+	if !ok {
+		t.Fatal("no sample retained")
+	}
+	if sm.Aborted {
+		t.Fatal("committed round marked aborted")
+	}
+	if sm.Views != int32(len(views)) || sm.PrimsIn != int32(len(prims)) {
+		t.Fatalf("views/prims = %d/%d, want %d/%d", sm.Views, sm.PrimsIn, len(views), len(prims))
+	}
+	if sm.PrimsOut <= 0 || sm.PrimsOut > sm.PrimsIn {
+		t.Fatalf("prims_out = %d out of range (in=%d)", sm.PrimsOut, sm.PrimsIn)
+	}
+	if sm.TotalNS <= 0 || sm.ValidateNS < 0 || sm.PropagateNS <= 0 || sm.ApplyNS < 0 {
+		t.Fatalf("phase times implausible: %+v", sm)
+	}
+	if sm.DeltaRoots <= 0 || sm.Inserted+sm.Merged+sm.Removed+sm.Modified <= 0 {
+		t.Fatalf("round did no visible extent work: %+v", sm)
+	}
+	// First cached round derives every base table fresh.
+	if sm.CacheMisses <= 0 || sm.CacheHits != 0 {
+		t.Fatalf("first-round cache deltas = hits %d misses %d, want fresh derivations only",
+			sm.CacheHits, sm.CacheMisses)
+	}
+
+	// A second round over the warmed cache must report hits as a per-round
+	// delta, not a lifetime total.
+	prims2, err := update.ParseAndEvaluate(s, `
+for $entry in document("prices.xml")/prices/entry
+where $entry/b-title = "TCP/IP Illustrated"
+update $entry
+replace $entry/price/text() with "71"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaintainAll(s, views, prims2, opt); err != nil {
+		t.Fatal(err)
+	}
+	sm2, _ := obs.Rounds.Last()
+	if sm2.Seq != 2 {
+		t.Fatalf("second round seq = %d, want 2", sm2.Seq)
+	}
+	if sm2.CacheHits <= 0 {
+		t.Fatalf("warmed round reported no cache hits: %+v", sm2)
+	}
+	if sm2.CacheMisses < 0 {
+		t.Fatalf("cache delta went negative: %+v", sm2)
+	}
+}
+
+// TestRoundTelemetryAborted checks the failure-path recording site: a round
+// that rolls back still leaves a sample behind, marked aborted.
+func TestRoundTelemetryAborted(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	obs.Rounds.Reset()
+	s, views, prims := obsFixture(t)
+	for _, op := range views[2].Plan.Ops() {
+		op.Kind = xat.OpKind(99)
+	}
+	if _, err := MaintainAll(s, views, prims, Options{Parallelism: 1}); err == nil {
+		t.Fatal("expected propagate failure")
+	}
+	sm, ok := obs.Rounds.Last()
+	if !ok {
+		t.Fatal("aborted round left no sample")
+	}
+	if !sm.Aborted || sm.Views != int32(len(views)) || sm.PrimsIn <= 0 {
+		t.Fatalf("aborted sample = %+v", sm)
+	}
+}
+
+// TestRoundTelemetryDisabled pins the gate: with obs off a maintenance round
+// must not touch the ring at all.
+func TestRoundTelemetryDisabled(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(false))
+	obs.Rounds.Reset()
+	s, views, prims := obsFixture(t)
+	if _, err := MaintainAll(s, views, prims); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Rounds.Total(); got != 0 {
+		t.Fatalf("disabled round recorded %d samples, want 0", got)
+	}
+}

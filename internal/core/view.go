@@ -247,6 +247,8 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	root := opt.Tracer.StartSpan("MaintainAll").
 		Arg("views", len(views)).Arg("prims", len(prims))
 	defer root.End()
+	probe := beginRoundProbe(views)
+	nprims := len(prims)
 
 	// Round transaction: every phase below stages into it, and this defer is
 	// the single place the round aborts — any error return (and any panic in
@@ -263,6 +265,14 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 			restored := txn.rollback()
 			rspan.Arg("restored", restored).End()
 			out = nil
+			if probe.active {
+				obs.Rounds.Append(obs.RoundSample{
+					Aborted: true,
+					TotalNS: time.Since(start).Nanoseconds(),
+					Views:   int32(len(views)),
+					PrimsIn: int32(nprims),
+				})
+			}
 		}
 	}()
 
@@ -425,6 +435,17 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 
 	// --- Commit: install every staged outcome together. Nothing below can
 	// fail — all fallible steps ran above. ---
+	// Arena occupancy must be priced before commit: commit releases (and in
+	// poison builds scrubs) every view's round arena.
+	var arenaBytes int64
+	var arenaChunks int
+	if probe.active {
+		for i := range txn.stages {
+			b, c := txn.stages[i].alloc.Footprint()
+			arenaBytes += b
+			arenaChunks += c
+		}
+	}
 	txn.commit()
 	for i, v := range views {
 		v.ExecStats.Add(propStats[i])
@@ -434,8 +455,9 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		ms.Source = srcTime
 		ms.Total = total
 	}
-	if obs.Enabled() {
+	if probe.active {
 		recordMaintain(out)
+		obs.Rounds.Append(probe.sample(out, views, len(orig), len(prims), arenaBytes, arenaChunks))
 	}
 	return out, nil
 }

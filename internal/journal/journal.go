@@ -192,6 +192,13 @@ func (j *Journal) Reset() {
 	j.dropped = 0
 }
 
+// Cap reports the retention ring's capacity.
+func (j *Journal) Cap() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cap
+}
+
 // Len reports how many rounds are retained.
 func (j *Journal) Len() int {
 	j.mu.Lock()

@@ -2,10 +2,16 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
+
+// startTime anchors the /healthz uptime report to handler construction (the
+// serving process brings the endpoint up once, at startup).
+var startTime = time.Now()
 
 // publishOnce guards the expvar registration (expvar panics on duplicates).
 var publishOnce sync.Once
@@ -29,6 +35,7 @@ type Route struct {
 // Handler returns the serving-mode observability endpoint:
 //
 //	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness probe: 200 with round counter and uptime
 //	/debug/vars    expvar JSON (runtime memstats + the registry snapshot)
 //	/debug/pprof/  the standard pprof index, profiles and traces
 //
@@ -44,13 +51,18 @@ func Handler(r *Registry, routes ...Route) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, `{"status":"ok","rounds":%d,"uptime_seconds":%.3f}`+"\n",
+			Rounds.Total(), time.Since(startTime).Seconds())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	index := "xqview observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n"
+	index := "xqview observability endpoint\n\n/metrics\n/healthz\n/debug/vars\n/debug/pprof/\n"
 	for _, rt := range routes {
 		mux.Handle(rt.Pattern, rt.Handler)
 		index += rt.Pattern + "\n"

@@ -82,6 +82,60 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum reports the total observed time.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
+// Quantile estimates the p-quantile (p in [0,1]) of the recorded
+// observations by linear interpolation between the bounds of the bucket the
+// rank falls into. The estimate is therefore off by at most one bucket
+// width — the bucket bounds grow exponentially (1µs·2^i), so the relative
+// error is bounded by 2× at any scale. Observations in the overflow (+Inf)
+// bucket are reported as the largest finite bound: a saturated histogram
+// under-reports, it never invents latency. An empty histogram reports 0.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := int64(0)
+	for i := 0; i <= histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			// Bounds in integer nanoseconds (1µs·2^i), so boundary
+			// observations round-trip exactly instead of through floats.
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << uint(i-1) * 1000
+			}
+			if i == histBuckets {
+				// Overflow bucket: no finite upper bound to interpolate
+				// toward; clamp at its lower bound.
+				return time.Duration(lo)
+			}
+			hi := int64(1) << uint(i) * 1000
+			frac := (rank - float64(cum)) / float64(c)
+			return time.Duration(float64(lo) + float64(hi-lo)*frac)
+		}
+		cum += c
+	}
+	// Unreachable when counts and n agree; be safe under racing observers.
+	return time.Duration(int64(1) << uint(histBuckets-1) * 1000)
+}
+
+// quantilePoints are the pre-rendered quantiles every histogram exposes
+// next to its buckets (the serving dashboard's p50/p95/p99 tiles).
+var quantilePoints = []struct {
+	p      float64
+	suffix string
+}{{0.50, "_p50"}, {0.95, "_p95"}, {0.99, "_p99"}}
+
 // family is one metric name: its type, help text, and series per label set.
 type family struct {
 	name   string
@@ -262,6 +316,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(w, "%s %s\n", seriesName(name, lk, "_sum"),
 					strconv.FormatFloat(float64(m.sum.Load())/1e9, 'g', -1, 64))
 				fmt.Fprintf(w, "%s %d\n", seriesName(name, lk, "_count"), m.n.Load())
+				for _, q := range quantilePoints {
+					fmt.Fprintf(w, "%s %s\n", seriesName(name, lk, q.suffix),
+						strconv.FormatFloat(m.Quantile(q.p).Seconds(), 'g', -1, 64))
+				}
 			}
 		}
 	}
@@ -299,6 +357,9 @@ func (r *Registry) Snapshot() map[string]any {
 					"count":       m.n.Load(),
 					"sum_seconds": float64(m.sum.Load()) / 1e9,
 					"buckets":     buckets,
+					"p50":         m.Quantile(0.50).Seconds(),
+					"p95":         m.Quantile(0.95).Seconds(),
+					"p99":         m.Quantile(0.99).Seconds(),
 				}
 			}
 		}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// histBoundNS is bucket i's upper bound in integer nanoseconds (1µs·2^i).
+func histBoundNS(i int) time.Duration {
+	return time.Duration(int64(1) << uint(i) * 1000)
+}
+
+// bucketWidthAround returns the width of the histogram bucket containing d,
+// the error bound Quantile promises.
+func bucketWidthAround(d time.Duration) time.Duration {
+	for i := 0; i < histBuckets; i++ {
+		if d <= histBoundNS(i) {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = histBoundNS(i - 1)
+			}
+			return histBoundNS(i) - lo
+		}
+	}
+	return histBoundNS(histBuckets - 1)
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", p, q)
+		}
+	}
+}
+
+func TestQuantileClampsP(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)
+	if h.Quantile(-1) > h.Quantile(0) {
+		t.Fatal("p<0 not clamped to 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("p>1 not clamped to 1")
+	}
+}
+
+// TestQuantileKnownDistributions feeds known multisets and checks every
+// estimate against the exact sample quantile, within one bucket width.
+func TestQuantileKnownDistributions(t *testing.T) {
+	dists := map[string][]time.Duration{
+		"constant": {
+			5 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond,
+			5 * time.Millisecond, 5 * time.Millisecond,
+		},
+		"uniform-spread": {
+			1 * time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+			1 * time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+			500 * time.Millisecond, 1 * time.Second,
+		},
+		"bimodal": {
+			2 * time.Microsecond, 2 * time.Microsecond, 2 * time.Microsecond,
+			2 * time.Microsecond, 2 * time.Microsecond, 2 * time.Microsecond,
+			2 * time.Microsecond, 2 * time.Microsecond, 2 * time.Microsecond,
+			800 * time.Millisecond,
+		},
+	}
+	for name, samples := range dists {
+		var h Histogram
+		for _, d := range samples {
+			h.Observe(d)
+		}
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range []float64{0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+			// Exact sample quantile at the same (ceil-rank) convention.
+			rank := int(p*float64(len(sorted)) + 0.999999)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(sorted) {
+				rank = len(sorted)
+			}
+			exact := sorted[rank-1]
+			got := h.Quantile(p)
+			if diff := got - exact; diff < -bucketWidthAround(exact) || diff > bucketWidthAround(exact) {
+				t.Errorf("%s: Quantile(%v) = %v, exact %v, |err| > bucket width %v",
+					name, p, got, exact, bucketWidthAround(exact))
+			}
+		}
+	}
+}
+
+// TestQuantileBucketBoundary pins the interpolation at exact bucket bounds:
+// an observation landing exactly on a bound must be estimated inside its own
+// bucket, and p=1 must reach the bucket's upper bound, not overshoot.
+func TestQuantileBucketBoundary(t *testing.T) {
+	var h Histogram
+	// 64µs lands exactly on histBound(6): bucket 6 covers (32µs, 64µs].
+	h.Observe(64 * time.Microsecond)
+	got := h.Quantile(1)
+	if got < 32*time.Microsecond || got > 64*time.Microsecond {
+		t.Fatalf("Quantile(1) of a 64µs sample = %v, want within (32µs, 64µs]", got)
+	}
+	if got != 64*time.Microsecond {
+		t.Fatalf("p=1 of a single boundary sample should hit the upper bound, got %v", got)
+	}
+	// p=0.5 of the same single sample interpolates inside the bucket.
+	if mid := h.Quantile(0.5); mid < 32*time.Microsecond || mid > 64*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, escaped the owning bucket", mid)
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(2 * time.Second))))
+	}
+	prev := time.Duration(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: p=%v gave %v after %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQuantileOverflowBucketClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Hour) // beyond the largest finite bound (~8.4s)
+	maxFinite := histBoundNS(histBuckets - 1)
+	if got := h.Quantile(0.99); got != maxFinite {
+		t.Fatalf("overflow-bucket quantile = %v, want clamp at %v", got, maxFinite)
+	}
+}
+
+// TestExpositionQuantileLines checks the p50/p95/p99 lines render next to
+// each histogram and agree with Quantile.
+func TestExpositionQuantileLines(t *testing.T) {
+	r := testRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := parseExposition(buf.String())
+	for _, suffix := range []string{"_p50", "_p95", "_p99"} {
+		if _, ok := series["test_latency_seconds"+suffix]; !ok {
+			t.Fatalf("exposition missing test_latency_seconds%s:\n%s", suffix, buf.String())
+		}
+	}
+	h := r.HistogramOf("test_latency_seconds", "latency")
+	snap := r.Snapshot()
+	hist := snap["test_latency_seconds"].(map[string]any)
+	if hist["p99"].(float64) != h.Quantile(0.99).Seconds() {
+		t.Fatalf("snapshot p99 %v != Quantile %v", hist["p99"], h.Quantile(0.99).Seconds())
+	}
+	// Quantile lines must not corrupt the histogram family itself.
+	if !strings.Contains(buf.String(), "# TYPE test_latency_seconds histogram") {
+		t.Fatal("histogram TYPE line lost")
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Round telemetry: one fixed-size RoundSample per MaintainAll round,
+// appended into a lock-free ring (RoundSeries). The ring is the windowed
+// data source of the /stats/rounds endpoint and the xqtop dashboard — where
+// the registry's histograms answer "what is the cumulative latency
+// distribution", the ring answers "what did the last N rounds actually do",
+// per phase, per subsystem, one row per round.
+//
+// Appending is gated by Enabled() at the recording site (core.MaintainAll),
+// so the disabled path costs one atomic load and zero allocations (asserted
+// by TestRoundSeriesDisabledZeroAllocs). The enabled path publishes each
+// sample behind a per-slot atomic pointer: readers always observe a whole
+// sample, writers never block, and the one small allocation per round is
+// invisible next to a maintenance round's work.
+
+// RoundSample is the telemetry of one maintenance round. All fields are
+// fixed-size scalars so a sample copies into its ring slot without
+// allocating and marshals to one flat JSON object.
+type RoundSample struct {
+	// Seq is the 1-based append sequence number assigned by the ring.
+	Seq uint64 `json:"seq"`
+	// UnixNano is the wall-clock completion time (dashboard freshness; the
+	// provenance journal stays timestamp-free, telemetry need not).
+	UnixNano int64 `json:"unix_nano"`
+	// Aborted marks a round that failed and was rolled back; phase timings
+	// of an aborted round cover the work done before the rollback.
+	Aborted bool `json:"aborted,omitempty"`
+
+	// Wall time per VPA phase, nanoseconds. Validate/Source/Total are
+	// per-batch; Propagate/Apply sum the per-view work of the round.
+	ValidateNS  int64 `json:"validate_ns"`
+	PropagateNS int64 `json:"propagate_ns"`
+	ApplyNS     int64 `json:"apply_ns"`
+	SourceNS    int64 `json:"source_ns"`
+	TotalNS     int64 `json:"total_ns"`
+
+	// PrimsIn/PrimsOut are the batch sizes before and after compaction.
+	PrimsIn  int32 `json:"prims_in"`
+	PrimsOut int32 `json:"prims_out"`
+
+	// Views is the round's view count; Skipped of them were pruned by the
+	// relevance filter, the rest were maintained.
+	Views      int32 `json:"views"`
+	Skipped    int32 `json:"skipped"`
+	DeltaRoots int32 `json:"delta_roots"`
+
+	// State-cache activity of this round (deltas, not lifetime totals).
+	CacheHits   int32 `json:"cache_hits"`
+	CacheMisses int32 `json:"cache_misses"`
+	CacheFolds  int32 `json:"cache_folds"`
+	CacheEvicts int32 `json:"cache_evicts"`
+
+	// Deep-union extent traffic of the apply phase.
+	Merged   int32 `json:"merged"`
+	Inserted int32 `json:"inserted"`
+	Removed  int32 `json:"removed"`
+	Modified int32 `json:"modified"`
+
+	// Arena occupancy at commit: bytes bump-allocated by the round's view
+	// arenas and the chunk count backing them.
+	ArenaBytes  int64 `json:"arena_bytes"`
+	ArenaChunks int32 `json:"arena_chunks"`
+
+	// HeapAllocs counts heap objects allocated during the round (from
+	// runtime/metrics), the live allocs/op signal.
+	HeapAllocs int64 `json:"heap_allocs"`
+}
+
+// DefaultRoundWindow is the sample capacity of the Default round series:
+// enough history for quantile-sized sparklines without unbounded growth.
+const DefaultRoundWindow = 256
+
+// RoundSeries is a lock-free bounded ring of RoundSamples. Appends claim a
+// slot with one atomic increment and publish the finished sample with one
+// atomic pointer store, so concurrent maintenance rounds (different stores
+// in one process) never contend on a mutex and readers never block writers:
+// a reader either sees a slot's previous whole sample or its new whole
+// sample, never a torn one.
+type RoundSeries struct {
+	slots []atomic.Pointer[RoundSample]
+	total atomic.Uint64
+}
+
+// Rounds is the process-wide round series core.MaintainAll records into.
+var Rounds = NewRoundSeries(DefaultRoundWindow)
+
+// NewRoundSeries creates a ring retaining the most recent capacity samples
+// (capacity < 1 falls back to DefaultRoundWindow).
+func NewRoundSeries(capacity int) *RoundSeries {
+	if capacity < 1 {
+		capacity = DefaultRoundWindow
+	}
+	return &RoundSeries{slots: make([]atomic.Pointer[RoundSample], capacity)}
+}
+
+// Cap reports the ring capacity.
+func (rs *RoundSeries) Cap() int { return len(rs.slots) }
+
+// Total reports how many samples were ever appended (the round counter).
+func (rs *RoundSeries) Total() uint64 { return rs.total.Load() }
+
+// Append records one round sample, stamping its sequence number and
+// completion time. Callers gate on Enabled().
+func (rs *RoundSeries) Append(s RoundSample) {
+	seq := rs.total.Add(1)
+	s.Seq = seq
+	if s.UnixNano == 0 {
+		s.UnixNano = time.Now().UnixNano()
+	}
+	rs.slots[int((seq-1)%uint64(len(rs.slots)))].Store(&s)
+}
+
+// Snapshot returns the retained window, oldest first. Slots claimed by a
+// writer that has not published yet are simply absent — the window is
+// advisory telemetry, not a transaction log.
+func (rs *RoundSeries) Snapshot() []RoundSample {
+	total := rs.total.Load()
+	if total == 0 {
+		return nil
+	}
+	n := uint64(len(rs.slots))
+	first := uint64(1)
+	if total > n {
+		first = total - n + 1
+	}
+	out := make([]RoundSample, 0, total-first+1)
+	for seq := first; seq <= total; seq++ {
+		p := rs.slots[int((seq-1)%n)].Load()
+		// A slot may hold a newer sample than the one this position named at
+		// load time (the ring lapped between reading total and here), an
+		// older one only transiently (writer claimed but not yet published).
+		// Keep whatever whole sample is there, in-window and in order.
+		if p != nil && p.Seq >= first && p.Seq <= rs.total.Load() {
+			if len(out) == 0 || p.Seq > out[len(out)-1].Seq {
+				out = append(out, *p)
+			}
+		}
+	}
+	return out
+}
+
+// Last returns the most recent sample, if any.
+func (rs *RoundSeries) Last() (RoundSample, bool) {
+	w := rs.Snapshot()
+	if len(w) == 0 {
+		return RoundSample{}, false
+	}
+	return w[len(w)-1], true
+}
+
+// Reset drops all samples and restarts numbering. For tests and benchmark
+// arms; not safe against concurrent appenders.
+func (rs *RoundSeries) Reset() {
+	for i := range rs.slots {
+		rs.slots[i].Store(nil)
+	}
+	rs.total.Store(0)
+}
+
+// PhaseQuantiles is one phase's latency quantile triple, in seconds.
+type PhaseQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	N   int64   `json:"count"`
+}
+
+// RoundsPayload is the /stats/rounds response: the windowed ring dump plus
+// a cumulative snapshot (phase quantiles, drop counters, and whatever the
+// mounting layer injects — journal occupancy, aborted rounds).
+type RoundsPayload struct {
+	Enabled     bool          `json:"enabled"`
+	RoundsTotal uint64        `json:"rounds_total"`
+	WindowCap   int           `json:"window_cap"`
+	Window      []RoundSample `json:"window"`
+	// Quantiles maps phase name (validate/propagate/apply/source/total) to
+	// its cumulative latency quantiles from the registry histograms.
+	Quantiles map[string]PhaseQuantiles `json:"quantiles"`
+	// TraceDroppedEvents mirrors obs_trace_dropped_events: a non-zero value
+	// means a saturated trace buffer silently discarded spans.
+	TraceDroppedEvents int64 `json:"trace_dropped_events"`
+	// Extras carries layer-injected context (the journal ring's occupancy
+	// and recent aborted rounds, mounted by cmd/xqview).
+	Extras map[string]any `json:"extras,omitempty"`
+}
+
+// quantileOf reads one phase histogram's quantile triple from the registry.
+// HistogramOf get-or-creates, so a registry where maintenance never ran
+// reports zeros rather than erroring.
+func quantileOf(r *Registry, name, help string, labels ...string) PhaseQuantiles {
+	h := r.HistogramOf(name, help, labels...)
+	return PhaseQuantiles{
+		P50: h.Quantile(0.50).Seconds(),
+		P95: h.Quantile(0.95).Seconds(),
+		P99: h.Quantile(0.99).Seconds(),
+		N:   h.Count(),
+	}
+}
+
+// phaseHelp matches the registration at the core recording site, so the
+// payload builder resolves the same series instead of forking the family.
+const phaseHelp = "VPA phase latency per maintenance run"
+
+// BuildRoundsPayload assembles the /stats/rounds payload from a registry
+// and a round series. extras, when non-nil, is invoked per build so the
+// payload reflects live occupancy.
+func BuildRoundsPayload(r *Registry, rs *RoundSeries, extras func() map[string]any) RoundsPayload {
+	window := rs.Snapshot()
+	if window == nil {
+		window = []RoundSample{}
+	}
+	p := RoundsPayload{
+		Enabled:     Enabled(),
+		RoundsTotal: rs.Total(),
+		WindowCap:   rs.Cap(),
+		Window:      window,
+		Quantiles: map[string]PhaseQuantiles{
+			"validate":  quantileOf(r, "xqview_phase_seconds", phaseHelp, "phase", "validate"),
+			"propagate": quantileOf(r, "xqview_phase_seconds", phaseHelp, "phase", "propagate"),
+			"apply":     quantileOf(r, "xqview_phase_seconds", phaseHelp, "phase", "apply"),
+			"source":    quantileOf(r, "xqview_phase_seconds", phaseHelp, "phase", "source"),
+			"total":     quantileOf(r, "xqview_maintain_seconds", "end-to-end maintenance batch latency"),
+		},
+		TraceDroppedEvents: cTraceDropped.Value(),
+	}
+	if extras != nil {
+		p.Extras = extras()
+	}
+	return p
+}
+
+// RoundsHandler serves the round-telemetry JSON (the /stats/rounds endpoint
+// of the serving-mode observability handler). extras, when non-nil, injects
+// higher-layer context into every response.
+func RoundsHandler(r *Registry, rs *RoundSeries, extras func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(BuildRoundsPayload(r, rs, extras))
+	})
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundSeriesWindowSemantics(t *testing.T) {
+	rs := NewRoundSeries(4)
+	if got := rs.Snapshot(); got != nil {
+		t.Fatalf("empty series snapshot = %v, want nil", got)
+	}
+	for i := 1; i <= 3; i++ {
+		rs.Append(RoundSample{TotalNS: int64(i)})
+	}
+	w := rs.Snapshot()
+	if len(w) != 3 {
+		t.Fatalf("window len = %d, want 3", len(w))
+	}
+	for i, s := range w {
+		if s.Seq != uint64(i+1) || s.TotalNS != int64(i+1) {
+			t.Fatalf("sample %d = seq %d total %d, want seq/total %d", i, s.Seq, s.TotalNS, i+1)
+		}
+		if s.UnixNano == 0 {
+			t.Fatalf("sample %d missing completion timestamp", i)
+		}
+	}
+	// Overflow: ring keeps the most recent cap samples, oldest first.
+	for i := 4; i <= 10; i++ {
+		rs.Append(RoundSample{TotalNS: int64(i)})
+	}
+	w = rs.Snapshot()
+	if len(w) != 4 {
+		t.Fatalf("wrapped window len = %d, want 4", len(w))
+	}
+	for i, s := range w {
+		if want := uint64(7 + i); s.Seq != want {
+			t.Fatalf("wrapped sample %d seq = %d, want %d", i, s.Seq, want)
+		}
+	}
+	if rs.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", rs.Total())
+	}
+	rs.Reset()
+	if rs.Total() != 0 || rs.Snapshot() != nil {
+		t.Fatal("Reset did not clear the series")
+	}
+}
+
+// TestRoundSeriesConcurrent hammers appends and snapshots together: every
+// observed sample must be whole (Seq matches the payload stamped from it)
+// and windows must be strictly ordered. Run under -race this also proves
+// the ring is publication-safe.
+func TestRoundSeriesConcurrent(t *testing.T) {
+	rs := NewRoundSeries(8)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				rs.Append(RoundSample{TotalNS: -1})
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w := rs.Snapshot()
+			for i := 1; i < len(w); i++ {
+				if w[i].Seq <= w[i-1].Seq {
+					t.Errorf("window out of order: %d after %d", w[i].Seq, w[i-1].Seq)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if rs.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", rs.Total())
+	}
+}
+
+// TestRoundSeriesDisabledZeroAllocs pins the disabled recording path at
+// exactly zero heap allocations: with the obs gate off, a maintenance round
+// must pay one atomic load and nothing else for round telemetry.
+func TestRoundSeriesDisabledZeroAllocs(t *testing.T) {
+	defer SetEnabled(SetEnabled(false))
+	rs := NewRoundSeries(8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Enabled() {
+			rs.Append(RoundSample{TotalNS: 1})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled round-telemetry path allocates %v/op, want exactly 0", allocs)
+	}
+}
+
+func TestBuildRoundsPayload(t *testing.T) {
+	defer SetEnabled(SetEnabled(true))
+	r := NewRegistry()
+	r.HistogramOf("xqview_phase_seconds", phaseHelp, "phase", "validate").Observe(3 * time.Millisecond)
+	r.HistogramOf("xqview_maintain_seconds", "end-to-end maintenance batch latency").Observe(5 * time.Millisecond)
+	rs := NewRoundSeries(4)
+	rs.Append(RoundSample{TotalNS: int64(5 * time.Millisecond), PrimsIn: 3, PrimsOut: 2})
+	p := BuildRoundsPayload(r, rs, func() map[string]any {
+		return map[string]any{"journal_rounds": 7}
+	})
+	if !p.Enabled || p.RoundsTotal != 1 || len(p.Window) != 1 {
+		t.Fatalf("payload shape off: %+v", p)
+	}
+	if p.Window[0].PrimsIn != 3 || p.Window[0].PrimsOut != 2 {
+		t.Fatalf("window sample lost fields: %+v", p.Window[0])
+	}
+	if q := p.Quantiles["validate"]; q.N != 1 || q.P50 <= 0 {
+		t.Fatalf("validate quantiles = %+v, want count 1 and positive p50", q)
+	}
+	if q := p.Quantiles["total"]; q.N != 1 {
+		t.Fatalf("total quantiles = %+v", q)
+	}
+	if p.Extras["journal_rounds"] != 7 {
+		t.Fatalf("extras not threaded: %v", p.Extras)
+	}
+}
+
+func TestRoundsHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	rs := NewRoundSeries(4)
+	rs.Append(RoundSample{TotalNS: 42, Aborted: true})
+	srv := httptest.NewServer(RoundsHandler(r, rs, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var p RoundsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatalf("response is not a RoundsPayload: %v", err)
+	}
+	if p.RoundsTotal != 1 || len(p.Window) != 1 || !p.Window[0].Aborted {
+		t.Fatalf("payload = %+v", p)
+	}
+	if _, ok := p.Quantiles["propagate"]; !ok {
+		t.Fatal("payload missing propagate quantiles")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Status        string  `json:"status"`
+		Rounds        uint64  `json:"rounds"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("healthz body not JSON: %v", err)
+	}
+	if body.Status != "ok" || body.UptimeSeconds <= 0 {
+		t.Fatalf("healthz body = %+v", body)
+	}
+	// The index page lists the probe.
+	idx, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Body.Close()
+	page, err := io.ReadAll(idx.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "/healthz") {
+		t.Fatalf("index does not list /healthz:\n%s", page)
+	}
+}

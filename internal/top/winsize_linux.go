@@ -1,0 +1,21 @@
+//go:build linux
+
+package top
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// TermSize reports the terminal dimensions of the given file descriptor via
+// TIOCGWINSZ. ok is false when fd is not a terminal (piped output, tests);
+// callers fall back to a fixed size.
+func TermSize(fd uintptr) (w, h int, ok bool) {
+	var sz struct{ rows, cols, xpixel, ypixel uint16 }
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, fd,
+		uintptr(syscall.TIOCGWINSZ), uintptr(unsafe.Pointer(&sz)))
+	if errno != 0 || sz.cols == 0 || sz.rows == 0 {
+		return 0, 0, false
+	}
+	return int(sz.cols), int(sz.rows), true
+}

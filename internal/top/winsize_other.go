@@ -1,0 +1,9 @@
+//go:build !linux
+
+package top
+
+// TermSize reports no terminal on platforms without the TIOCGWINSZ probe;
+// callers fall back to a fixed size.
+func TermSize(fd uintptr) (w, h int, ok bool) {
+	return 0, 0, false
+}

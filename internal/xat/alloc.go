@@ -2,6 +2,7 @@ package xat
 
 import (
 	"sync"
+	"unsafe"
 
 	"xqview/internal/arena"
 )
@@ -81,6 +82,38 @@ func (a *Alloc) Release() {
 	}
 	a.spanUsed = 0
 	allocPool.Put(a)
+}
+
+// poolBytes prices one pool's occupancy in bytes.
+func poolBytes[T any](p *arena.Pool[T]) (bytes int64, chunks int) {
+	elems, n := p.Footprint()
+	var zero T
+	return int64(elems) * int64(unsafe.Sizeof(zero)), n
+}
+
+// Footprint reports the bump-allocated bytes and backing chunk count across
+// every pool of the bundle — the round-telemetry arena occupancy, sampled by
+// core just before the round transaction releases its arenas. Nil-safe: the
+// heap-fallback path reports zeros.
+func (a *Alloc) Footprint() (bytes int64, chunks int) {
+	if a == nil {
+		return 0, 0
+	}
+	add := func(b int64, c int) {
+		bytes += b
+		chunks += c
+	}
+	add(poolBytes(&a.tuples))
+	add(poolBytes(&a.cells))
+	add(poolBytes(&a.items))
+	add(poolBytes(&a.refs))
+	add(poolBytes(&a.vnodes))
+	add(poolBytes(&a.vrefs))
+	add(poolBytes(&a.ints))
+	add(poolBytes(&a.skels))
+	add(poolBytes(&a.sattrs))
+	add(poolBytes(&a.strs))
+	return bytes, chunks
 }
 
 // tuple returns a zeroed tuple.

@@ -35,6 +35,21 @@ type CacheStats struct {
 	Entries   int // tables currently held
 }
 
+// Sub returns the counter movement from prev to s — one round's cache
+// activity when prev was snapshotted at round start (Entries, a level not a
+// counter, is carried over from s as-is). This is the round-telemetry
+// choke point: core diffs each view's lifetime stats across the round and
+// folds the deltas into the round's obs.RoundSample.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Folds:     s.Folds - prev.Folds,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
 // cacheEntry is one cached base table together with the source documents its
 // sub-plan reads — the unit of region-driven invalidation.
 type cacheEntry struct {

@@ -1,0 +1,81 @@
+#!/bin/sh
+# bench_pr7.sh — capture the PR 7 round-telemetry benchmarks into
+# BENCH_PR7.json. BenchmarkMaintainCached and BenchmarkMaintainTransactional
+# re-run under the same names as BENCH_PR6.json so scripts/bench_diff.sh and
+# scripts/allocs_diff.sh can hold the pair to "no regression": the telemetry
+# pipeline is gated on obs.Enabled(), so the default-off maintenance arms
+# must not move. BenchmarkMaintainTelemetry prices the enabled pipeline
+# itself — the obs=on arm runs phase histograms, per-round sample assembly
+# (cache-stat diffing, arena footprint, the runtime/metrics heap probe) and
+# the ring append on the 1000-book cached join round; check.sh bounds
+# obs=on at 1% over obs=off from this capture.
+#
+# Each benchmark runs -count times and the capture stores the per-name
+# MEDIAN: the benchmark machine is noisy and a single slow run would smear
+# a mean well past the 1% telemetry gate, while the median shrugs it off.
+#
+# Usage: scripts/bench_pr7.sh [benchtime] [count]
+#   benchtime  go test -benchtime value (default 10x)
+#   count      go test -count value (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+count="${2:-3}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainCached|BenchmarkMaintainTransactional|BenchmarkMaintainTelemetry' \
+	-benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 7,\n'
+	printf '  "benchmark": "BenchmarkMaintainCached+BenchmarkMaintainTransactional+BenchmarkMaintainTelemetry",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "count": %s,\n' "$count"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		function median(vals, name, n,    i, j, tmp, a) {
+			for (i = 1; i <= n; i++) a[i] = vals[name, i]
+			for (i = 2; i <= n; i++)
+				for (j = i; j > 1 && a[j-1] > a[j]; j--) {
+					tmp = a[j]; a[j] = a[j-1]; a[j-1] = tmp
+				}
+			if (n % 2) return a[(n + 1) / 2]
+			return (a[n / 2] + a[n / 2 + 1]) / 2
+		}
+		/^Benchmark(MaintainCached|MaintainTransactional|MaintainTelemetry)/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (!(name in runs)) order[no++] = name
+			r = ++runs[name]
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns[name, r] = $i
+				else if ($(i+1) == "B/op") { bytes[name, r] = $i; hasb[name] = 1 }
+				else if ($(i+1) == "allocs/op") { allocs[name, r] = $i; hasa[name] = 1 }
+				else if ($(i+1) == "views_skipped/op") { skips[name, r] = $i; hass[name] = 1 }
+			}
+			iters[name] += $2
+		}
+		END {
+			for (j = 0; j < no; j++) {
+				name = order[j]; n = runs[name]
+				line = sprintf("    {\"name\": \"%s\", \"runs\": %d, \"iterations\": %d, \"ns_per_op\": %.0f", \
+					name, n, iters[name] / n, median(ns, name, n))
+				if (hasb[name]) line = line sprintf(", \"bytes_per_op\": %.0f", median(bytes, name, n))
+				if (hasa[name]) line = line sprintf(", \"allocs_per_op\": %.0f", median(allocs, name, n))
+				if (hass[name]) line = line sprintf(", \"views_skipped_per_op\": %.3f", median(skips, name, n))
+				line = line "}"
+				if (j) printf(",\n")
+				printf("%s", line)
+			}
+			printf("\n")
+		}
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR7.json
+
+echo "wrote BENCH_PR7.json" >&2
