@@ -14,6 +14,7 @@ import (
 	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/update"
+	"xqview/internal/xat"
 	"xqview/internal/xmark"
 	"xqview/internal/xmldoc"
 )
@@ -432,6 +433,69 @@ func BenchmarkMaintainTelemetry(b *testing.B) {
 				b.Fatal("telemetry arm recorded no round samples")
 			}
 		})
+	}
+}
+
+// sharedBenchQuery is one member of the shared-prefix view family: every
+// view computes the same bib⋈prices title join and differs only in the name
+// of the element wrapping each joined pair, so the whole join subtree —
+// sources, navigations and the join itself — fingerprints identically across
+// views while the tagger suffix stays private.
+func sharedBenchQuery(i int) string {
+	return fmt.Sprintf(`<result>{
+	for $b in doc("bib.xml")/bib/book,
+	    $e in doc("prices.xml")/prices/entry
+	where $b/title = $e/b-title
+	return <r%d>{$b/title} {$e/price}</r%d>
+}</result>`, i, i)
+}
+
+// BenchmarkMaintainSharedViews is the PR 9 shared sub-plan benchmark: N
+// views over one structurally identical join prefix, maintained with
+// cross-view sharing off (every view re-propagates the join) and on (the
+// join's delta propagates once per round and fans out to N private tagger
+// suffixes). Both arms run the same warm state cache, so the gap isolates
+// the per-view propagation work sharing removes; check.sh gates the on arm
+// at ≥5x the off arm at 50 views via scripts/bench_pr9.sh → BENCH_PR9.json.
+func BenchmarkMaintainSharedViews(b *testing.B) {
+	for _, nv := range []int{10, 50, 100} {
+		for _, arm := range []struct {
+			name  string
+			share bool
+		}{
+			{"share=on", true},
+			{"share=off", false},
+		} {
+			b.Run(fmt.Sprintf("views=%d/%s", nv, arm.name), func(b *testing.B) {
+				s := benchBibStore(b, 500)
+				views := make([]*core.View, nv)
+				plans := make([]*xat.Plan, nv)
+				for i := range views {
+					v, err := core.NewView(s, sharedBenchQuery(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					views[i] = v
+					plans[i] = v.Plan
+				}
+				opts := core.Options{Parallelism: 1, CacheBaseTables: true, ShareSubplans: arm.share}
+				if arm.share {
+					// A persistent DAG keeps the shared cache partition warm
+					// across rounds, same as the Database integration does.
+					opts.SharedDAG = xat.BuildSharedDAG(plans)
+				}
+				bib, _ := s.RootElem("bib.xml")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					prims := []*update.Primitive{{Kind: update.Insert, Doc: "bib.xml", Parent: bib,
+						Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1994"),
+							xmldoc.Elem("title", xmldoc.TextF(fmt.Sprintf("sv-%d", i))))}}
+					if _, err := core.MaintainAll(s, views, prims, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

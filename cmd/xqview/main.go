@@ -7,6 +7,7 @@
 //	       [-updates updates.xqu | -replay stream.jsonl] [-record stream.jsonl] \
 //	       [-journal] [-explain view=flexkey] [-plan] [-sapt] [-report] \
 //	       [-pretty] [-parallel N] [-cache] [-arena=off] [-compact=off] \
+//	       [-share=off] \
 //	       [-trace out.json] [-http :6060] [-serve] [-top] [-logjson] [-v] \
 //	       [-fault site[:error|panic[:hit]]]
 //
@@ -17,7 +18,11 @@
 // base operator tables survive between update batches (invalidated only
 // when a batch's regions touch their source documents) and views provably
 // untouched by a batch skip their Propagate+Apply phases. Results are
-// identical either way; only maintenance cost changes.
+// identical either way; only maintenance cost changes. -share (on by
+// default) groups structurally identical plan prefixes across views into a
+// shared DAG so each prefix's delta propagates once per round and fans out
+// to every subscribing view; -share=off gives every view a fully private
+// propagation.
 //
 // Observability: -trace records every VPA phase and XAT operator as spans
 // and writes Chrome trace-event JSON (open in chrome://tracing or Perfetto
@@ -134,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pretty := fs.Bool("pretty", false, "indent the printed view")
 	parallel := fs.Int("parallel", 0, "max views maintained concurrently per batch (0 = GOMAXPROCS, 1 = sequential)")
 	cacheOn := fs.Bool("cache", false, "cache base operator tables across update batches and skip views untouched by a batch")
+	shareFlag := fs.String("share", "on", "cross-view shared sub-plan maintenance, on|off (structurally identical plan prefixes propagate once per round and fan out; results identical)")
 	arenaFlag := fs.String("arena", "on", "round-scoped arena allocation for maintenance transients, on|off (off = plain heap allocation; results identical)")
 	compactFlag := fs.String("compact", "on", "pre-validation update-batch normalization, on|off (cancel insert+delete pairs, coalesce repeated replaces, merge adjacent inserts; decisions are journaled)")
 	traceFile := fs.String("trace", "", "write Chrome trace-event JSON of the maintenance run to this file")
@@ -195,8 +201,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	shareOn, err := onOff("share", *shareFlag)
+	if err != nil {
+		return err
+	}
 	db.SetArena(arenaOn)
 	db.SetCompaction(compactOn)
+	db.SetShareSubplans(shareOn)
 	db.SetLogger(log)
 
 	var tracer *obs.Tracer

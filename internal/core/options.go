@@ -9,6 +9,7 @@ import (
 
 	"xqview/internal/faultinject"
 	"xqview/internal/obs"
+	"xqview/internal/xat"
 )
 
 // fpPoolTask guards task dispatch in the worker pool; its ModePanic arming
@@ -51,6 +52,23 @@ type Options struct {
 	// entirely under the arena_off build tag); arena-on and arena-off rounds
 	// are byte-identical (enforced by the differential tests).
 	DisableArena bool
+
+	// ShareSubplans maintains operator subtrees shared by several views once
+	// per round: equal-fingerprint shareable subtrees are grouped into a
+	// shared DAG (xat.BuildSharedDAG), each group's representative
+	// propagates exactly once against a shared cache partition, and the
+	// resulting delta tables seed every live subscriber's private suffix.
+	// Off by default; share-on is byte-identical to share-off (enforced by
+	// the differential tests). Workloads without cross-view overlap build an
+	// empty DAG and pay nothing.
+	ShareSubplans bool
+
+	// SharedDAG, when non-nil and built over exactly the round's view plans,
+	// is reused instead of rebuilding the DAG per round — this is what keeps
+	// the shared cache partitions warm across rounds (Database maintains one
+	// per view set). Ignored unless ShareSubplans is set; a stale DAG (plans
+	// changed) is detected via Matches and rebuilt fresh for the round.
+	SharedDAG *xat.SharedDAG
 
 	// DisableCompaction turns off delta-batch compaction: the primitive
 	// batch is then validated and propagated exactly as submitted, without

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xqview/internal/faultinject"
+	"xqview/internal/journal"
+	"xqview/internal/obs"
+	"xqview/internal/update"
+	"xqview/internal/xat"
+	"xqview/internal/xmldoc"
+)
+
+// Shared sub-plan maintenance must be invisible in results: share=on and
+// share=off rounds produce byte-identical extents, journals and Explain
+// output under every update stream, while the shared frontier turns
+// per-view subtree propagations into one propagation per distinct prefix.
+
+// sharedFamilies are three view families with overlapping prefixes: the
+// book family shares Source→Navigate over bib.xml, the price family the
+// same over prices.xml, and the join family a whole two-source join
+// subtree. Within each family only the construction suffix differs, so the
+// DAG must factor each family's prefix into one shared group.
+var sharedFamilies = []string{
+	// Family 1: bib book prefix.
+	`<result>{ for $b in doc("bib.xml")/bib/book return <t>{$b/title}</t> }</result>`,
+	`<result>{ for $b in doc("bib.xml")/bib/book return <u>{$b/title}</u> }</result>`,
+	`<result>{ for $b in doc("bib.xml")/bib/book where $b/@year = "1995" return <hit>{$b/title}</hit> }</result>`,
+	// Family 2: prices entry prefix.
+	`<result>{ for $e in doc("prices.xml")/prices/entry return <p>{$e/price}</p> }</result>`,
+	`<result>{ for $e in doc("prices.xml")/prices/entry return <q>{$e/price}</q> }</result>`,
+	// Family 3: two-source join prefix.
+	`<result>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <pair>{$b/title} {$e/price}</pair> }</result>`,
+	`<result>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <deal>{$e/price}</deal> }</result>`,
+}
+
+// sharedArm builds one differential arm: twin arms load the same documents
+// in the same order so FlexKey assignment is identical.
+func sharedArm(t *testing.T, bibXML, pricesXML string, queries []string) (*xmldoc.Store, []*View) {
+	t.Helper()
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", pricesXML); err != nil {
+		t.Fatal(err)
+	}
+	views := make([]*View, len(queries))
+	for i, q := range queries {
+		v, err := NewView(s, q)
+		if err != nil {
+			t.Fatalf("view %d: %v", i, err)
+		}
+		v.Name = fmt.Sprintf("v%d", i)
+		views[i] = v
+	}
+	return s, views
+}
+
+func plansOf(views []*View) []*xat.Plan {
+	plans := make([]*xat.Plan, len(views))
+	for i, v := range views {
+		plans[i] = v.Plan
+	}
+	return plans
+}
+
+// TestSharedDAGGrouping pins the DAG construction itself: the three
+// families must factor into at least three shared groups, every group needs
+// two distinct subscribing views, and a single view shares nothing.
+func TestSharedDAGGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0DA6))
+	_, views := sharedArm(t, randomBib(rng, 3), randomPrices(rng, 3), sharedFamilies)
+	dag := xat.BuildSharedDAG(plansOf(views))
+	if len(dag.Groups) < 3 {
+		t.Fatalf("expected >=3 shared groups across the families, got %d", len(dag.Groups))
+	}
+	subscribed := map[int]bool{}
+	for gi, g := range dag.Groups {
+		views := map[int]bool{}
+		for _, m := range g.Members {
+			views[m.View] = true
+			subscribed[m.View] = true
+			if len(m.Ops) != len(g.Rep) {
+				t.Fatalf("group %d: member subtree size %d != rep size %d", gi, len(m.Ops), len(g.Rep))
+			}
+		}
+		if len(views) < 2 {
+			t.Fatalf("group %d has %d distinct views, want >=2", gi, len(views))
+		}
+		if len(g.Rep) < 2 {
+			t.Fatalf("group %d rep subtree has %d ops, want >=2", gi, len(g.Rep))
+		}
+		if !g.Frontier().Shareable() {
+			t.Fatalf("group %d frontier not shareable", gi)
+		}
+	}
+	// The maximal-first greedy may leave a view whose only overlap is a
+	// fragment of an already-accepted larger group unsubscribed (the
+	// filtered book view); every family's unfiltered members must subscribe.
+	for _, vi := range []int{0, 1, 3, 4, 5, 6} {
+		if !subscribed[vi] {
+			t.Errorf("view %d subscribes to no group", vi)
+		}
+	}
+	if d := xat.BuildSharedDAG(plansOf(views[:1])); len(d.Groups) != 0 {
+		t.Errorf("single view formed %d shared groups, want 0", len(d.Groups))
+	}
+	if !dag.Matches(plansOf(views)) {
+		t.Error("DAG does not match the plans it was built over")
+	}
+	if dag.Matches(plansOf(views[:3])) {
+		t.Error("DAG matches a different plan list")
+	}
+}
+
+// journalDump marshals the retained rounds for byte comparison.
+func journalDump(t *testing.T) string {
+	t.Helper()
+	b, err := json.Marshal(journal.Default.Rounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// explainAll renders Explain for every view at each primitive's anchor key.
+// A no-lineage error is part of the rendered output: both arms must produce
+// it for the same (view, key) pairs.
+func explainAll(views []*View, prims []*update.Primitive) string {
+	var b strings.Builder
+	for _, v := range views {
+		for _, p := range prims {
+			if len(p.Key) == 0 {
+				continue
+			}
+			text, err := journal.Default.Explain(v.Name, string(p.Key))
+			if err != nil {
+				text = "error: " + err.Error()
+			}
+			b.WriteString(text)
+			b.WriteString("\n---\n")
+		}
+	}
+	return b.String()
+}
+
+// TestSharedDifferentialRandomized is the correctness backstop of the
+// shared frontier: randomized primitive streams run through a share=on arm
+// (cache, skip filter and arena all on) and a share=off arm over twin
+// stores. After every round each view's canonical extent, the round's
+// journal and the Explain output of every touched key must be
+// byte-identical across arms, and the shared arm must also match full
+// recomputation.
+func TestSharedDifferentialRandomized(t *testing.T) {
+	defer journal.SetEnabled(journal.SetEnabled(false))
+	journal.SetEnabled(true)
+	defer journal.Default.Reset()
+
+	rng := rand.New(rand.NewSource(0x54A12E))
+	bibXML, pricesXML := randomBib(rng, 6), randomPrices(rng, 5)
+	onStore, onViews := sharedArm(t, bibXML, pricesXML, sharedFamilies)
+	offStore, offViews := sharedArm(t, bibXML, pricesXML, sharedFamilies)
+	dag := xat.BuildSharedDAG(plansOf(onViews))
+	if len(dag.Groups) == 0 {
+		t.Fatal("no shared groups formed; differential test is vacuous")
+	}
+	// The arms differ ONLY in sharing: cache, relevance filter and arena are
+	// identical, so journal and Explain byte-comparison isolates the shared
+	// frontier.
+	onOpts := Options{Parallelism: 1, CacheBaseTables: true, SkipDisjointViews: true,
+		ShareSubplans: true, SharedDAG: dag}
+	offOpts := Options{Parallelism: 1, CacheBaseTables: true, SkipDisjointViews: true}
+	rounds := 25
+	if testing.Short() {
+		rounds = 8
+	}
+	sharedSeeded := 0
+	for round := 0; round < rounds; round++ {
+		prims := randomBatch(t, rng, onStore, 1+rng.Intn(3))
+		if !conflictFree(prims) {
+			continue
+		}
+		queries := make([]string, len(onViews))
+		for i, v := range onViews {
+			queries[i] = v.Query
+		}
+		wants, err := RecomputeAll(onStore, queries, deepClonePrims(prims), offOpts)
+		if err != nil {
+			t.Fatalf("round %d recompute: %v", round, err)
+		}
+
+		journal.Default.Reset()
+		primsOn := deepClonePrims(prims)
+		stats, err := MaintainAll(onStore, onViews, primsOn, onOpts)
+		if err != nil {
+			t.Fatalf("round %d share-on maintain: %v", round, err)
+		}
+		for _, ms := range stats {
+			sharedSeeded += ms.SharedPrefixes
+		}
+		onJournal := journalDump(t)
+		onExplain := explainAll(onViews, primsOn)
+
+		journal.Default.Reset()
+		primsOff := deepClonePrims(prims)
+		if _, err := MaintainAll(offStore, offViews, primsOff, offOpts); err != nil {
+			t.Fatalf("round %d share-off maintain: %v", round, err)
+		}
+		offJournal := journalDump(t)
+		offExplain := explainAll(offViews, primsOff)
+
+		for i := range onViews {
+			on := CanonicalXML(onViews[i].Extent)
+			off := CanonicalXML(offViews[i].Extent)
+			if on != off {
+				t.Fatalf("round %d view %d: share-on diverges from share-off\non:  %s\noff: %s",
+					round, i, on, off)
+			}
+			if got := onViews[i].XML(); got != wants[i] {
+				t.Fatalf("round %d view %d: share-on diverges from recompute\non:   %s\nfull: %s",
+					round, i, got, wants[i])
+			}
+		}
+		if onJournal != offJournal {
+			t.Fatalf("round %d: journal diverges across arms\n--- on ---\n%s\n--- off ---\n%s",
+				round, onJournal, offJournal)
+		}
+		if onExplain != offExplain {
+			t.Fatalf("round %d: explain diverges across arms\n--- on ---\n%s\n--- off ---\n%s",
+				round, onExplain, offExplain)
+		}
+	}
+	if sharedSeeded == 0 {
+		t.Fatal("share-on arm never seeded a shared prefix; differential test is vacuous")
+	}
+}
+
+// sharedCrashSnapshot extends the PR 5 rollback snapshot with the shared
+// DAG's cache partitions: a rolled-back round must leave them byte-identical
+// too.
+func sharedCrashSnapshot(a *crashArm, dag *xat.SharedDAG) string {
+	s := a.snapshot()
+	var b strings.Builder
+	b.WriteString(s.store)
+	for i := range s.extents {
+		b.WriteString(s.extents[i])
+		b.WriteString(s.caches[i])
+	}
+	for _, g := range dag.Groups {
+		b.WriteString(g.Cache.Fingerprint())
+	}
+	return b.String()
+}
+
+// TestSharedCrashConsistencyEverySite reruns the PR 5 fault sweep with the
+// shared frontier on: a fault at any site — including the shared groups'
+// own propagate and prepare steps — must roll back store, extents, private
+// caches AND shared cache partitions byte-identical, and the retry must
+// match a fault-free share=on twin.
+func TestSharedCrashConsistencyEverySite(t *testing.T) {
+	sites := FaultSites()
+	for _, site := range sites {
+		for _, mode := range []faultinject.Mode{faultinject.ModeError, faultinject.ModePanic} {
+			t.Run(site+"/"+mode.String(), func(t *testing.T) {
+				defer faultinject.Reset()
+				rng := rand.New(rand.NewSource(0x54A12E))
+				bib, prices := randomBib(rng, 6), randomPrices(rng, 5)
+				a := newCrashArm(t, bib, prices)
+				b := newCrashArm(t, bib, prices)
+				dagA := xat.BuildSharedDAG(plansOf(a.views))
+				dagB := xat.BuildSharedDAG(plansOf(b.views))
+				if len(dagA.Groups) == 0 {
+					t.Fatal("crash queries share no prefixes; sweep is vacuous")
+				}
+				optsA := crashOpts
+				optsA.ShareSubplans, optsA.SharedDAG = true, dagA
+				optsA.SkipDisjointViews = true
+				optsB := crashOpts
+				optsB.ShareSubplans, optsB.SharedDAG = true, dagB
+				optsB.SkipDisjointViews = true
+
+				warm := randomBatch(t, rng, a.store, 2)
+				if _, err := MaintainAll(a.store, a.views, deepClonePrims(warm), optsA); err != nil {
+					t.Fatalf("warmup: %v", err)
+				}
+				if _, err := MaintainAll(b.store, b.views, deepClonePrims(warm), optsB); err != nil {
+					t.Fatalf("twin warmup: %v", err)
+				}
+				pre := sharedCrashSnapshot(a, dagA)
+				prims := randomBatch(t, rng, a.store, 3)
+				primsA, primsB := deepClonePrims(prims), deepClonePrims(prims)
+
+				if err := faultinject.Arm(site, mode, 1); err != nil {
+					t.Fatal(err)
+				}
+				_, err := MaintainAll(a.store, a.views, primsA, optsA)
+				if err == nil {
+					t.Fatalf("armed %s did not fail the round", site)
+				}
+				if !faultinject.Fired(site) {
+					t.Fatalf("round failed but site %s never fired: %v", site, err)
+				}
+				var f *faultinject.Fault
+				if mode == faultinject.ModeError && !errors.As(err, &f) {
+					t.Fatalf("injected error not traceable to the fault: %v", err)
+				}
+				if post := sharedCrashSnapshot(a, dagA); post != pre {
+					t.Fatalf("rollback after %s (%s) not byte-identical under sharing:\n--- pre ---\n%s\n--- post ---\n%s",
+						site, mode, pre, post)
+				}
+
+				if _, err := MaintainAll(a.store, a.views, primsA, optsA); err != nil {
+					t.Fatalf("retry after %s: %v", site, err)
+				}
+				if _, err := MaintainAll(b.store, b.views, primsB, optsB); err != nil {
+					t.Fatalf("twin round: %v", err)
+				}
+				if got, want := sharedCrashSnapshot(a, dagA), sharedCrashSnapshot(b, dagB); got != want {
+					t.Fatalf("retried shared round diverged from fault-free twin:\n--- a ---\n%s\n--- b ---\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestSharedSkipAccounting pins the skip contract of the shared frontier: a
+// view skipped by the relevance filter counts as skipped (MaintStats and
+// the xqview_views_skipped_total counter) even when a shared prefix it
+// subscribes to ran for other, live views — and the skipped view receives
+// no seeds.
+func TestSharedSkipAccounting(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	rng := rand.New(rand.NewSource(0x5C1B))
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", randomBib(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", randomPrices(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Both views share the bib book prefix; only the join view also reads
+	// prices.xml.
+	bibOnly, err := NewView(s, `<result>{ for $b in doc("bib.xml")/bib/book return <t>{$b/title}</t> }</result>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := NewView(s, `<result>{
+		for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+		where $b/title = $e/b-title
+		return <pair>{$b/title} {$e/price}</pair> }</result>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []*View{bibOnly, joined}
+	dag := xat.BuildSharedDAG(plansOf(views))
+	if len(dag.Groups) == 0 {
+		t.Fatal("views share no prefix; test is vacuous")
+	}
+	opts := Options{Parallelism: 1, SkipDisjointViews: true, ShareSubplans: true, SharedDAG: dag}
+	skippedCounter := obs.Default.CounterOf("xqview_views_skipped_total", "views skipped by the region-relevance filter")
+	before := skippedCounter.Value()
+
+	// The batch touches prices.xml only: the bib-only view must skip even
+	// though its shared bib prefix runs on behalf of the join view.
+	bibBefore := bibOnly.XML()
+	priRoot, _ := s.RootElem("prices.xml")
+	prims := []*update.Primitive{{
+		Kind: update.Insert, Doc: "prices.xml", Parent: priRoot,
+		Frag: xmldoc.Elem("entry",
+			xmldoc.Elem("price", xmldoc.TextF("5.00")),
+			xmldoc.Elem("b-title", xmldoc.TextF(titlesPool[0]))),
+	}}
+	want, err := Recompute(s, joined.Query, deepClonePrims(prims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := MaintainAll(s, views, prims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Skipped != 1 {
+		t.Errorf("bib-only view not counted skipped: Skipped=%d", stats[0].Skipped)
+	}
+	if stats[0].SharedPrefixes != 0 {
+		t.Errorf("skipped view received %d shared seeds, want 0", stats[0].SharedPrefixes)
+	}
+	if stats[1].Skipped != 0 {
+		t.Error("join view wrongly skipped")
+	}
+	if got := skippedCounter.Value() - before; got != 1 {
+		t.Errorf("xqview_views_skipped_total moved by %d, want 1", got)
+	}
+	if got := bibOnly.XML(); got != bibBefore {
+		t.Errorf("skipped view's extent changed:\nbefore: %s\nafter:  %s", bibBefore, got)
+	}
+	if got := joined.XML(); got != want {
+		t.Errorf("join view diverged from recompute:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestSharedDisjointFastPath pins the PR 4 disjoint fast path under
+// sharing: when EVERY subscriber of a shared prefix is skipped, the prefix
+// must not run at all — no view is seeded, the round sample reports zero
+// shared groups, and both views keep their skip accounting. A shared prefix
+// must never force work on behalf of skipped views alone.
+func TestSharedDisjointFastPath(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	rng := rand.New(rand.NewSource(0xD15))
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", randomBib(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("other.xml", "<other><item><name>x</name></item></other>"); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := NewView(s, `<result>{ for $b in doc("bib.xml")/bib/book return <t>{$b/title}</t> }</result>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewView(s, `<result>{ for $b in doc("bib.xml")/bib/book return <u>{$b/title}</u> }</result>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []*View{v1, v2}
+	dag := xat.BuildSharedDAG(plansOf(views))
+	if len(dag.Groups) == 0 {
+		t.Fatal("views share no prefix; test is vacuous")
+	}
+	opts := Options{Parallelism: 1, SkipDisjointViews: true, ShareSubplans: true, SharedDAG: dag}
+
+	// The batch touches other.xml only: both subscribers skip, so the
+	// shared prefix must not propagate.
+	otherRoot, _ := s.RootElem("other.xml")
+	prims := []*update.Primitive{{
+		Kind: update.Insert, Doc: "other.xml", Parent: otherRoot,
+		Frag: xmldoc.Elem("item", xmldoc.Elem("name", xmldoc.TextF("y"))),
+	}}
+	stats, err := MaintainAll(s, views, prims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ms := range stats {
+		if ms.Skipped != 1 {
+			t.Errorf("view %d not skipped: Skipped=%d", i, ms.Skipped)
+		}
+		if ms.SharedPrefixes != 0 {
+			t.Errorf("view %d seeded with %d shared prefixes on an all-skipped round", i, ms.SharedPrefixes)
+		}
+	}
+	last, ok := obs.Rounds.Last()
+	if !ok {
+		t.Fatal("no round sample recorded")
+	}
+	if last.SharedGroups != 0 || last.SharedFanout != 0 {
+		t.Errorf("all-skipped round ran shared groups: groups=%d fanout=%d",
+			last.SharedGroups, last.SharedFanout)
+	}
+	if last.Skipped != 2 {
+		t.Errorf("round sample skipped=%d, want 2", last.Skipped)
+	}
+
+	// A touched round afterwards must seed both views and report the group.
+	bibRoot, _ := s.RootElem("bib.xml")
+	prims = []*update.Primitive{{
+		Kind: update.Insert, Doc: "bib.xml", Parent: bibRoot,
+		Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1995"),
+			xmldoc.Elem("title", xmldoc.TextF("Shared"))),
+	}}
+	want1, err := Recompute(s, v1.Query, deepClonePrims(prims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = MaintainAll(s, views, prims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ms := range stats {
+		if ms.SharedPrefixes == 0 {
+			t.Errorf("view %d got no shared seeds on a touched round", i)
+		}
+	}
+	last, _ = obs.Rounds.Last()
+	if last.SharedGroups == 0 || last.SharedFanout < 2 || last.SharedHits < 1 {
+		t.Errorf("touched round sample: groups=%d fanout=%d hits=%d",
+			last.SharedGroups, last.SharedFanout, last.SharedHits)
+	}
+	if got := v1.XML(); got != want1 {
+		t.Errorf("seeded view diverged from recompute:\ngot:  %s\nwant: %s", got, want1)
+	}
+}
+
+// TestSharedStaleEviction pins the zero-live-subscribers hazard: a round
+// that touches a shared group's documents while every subscriber skips must
+// evict the group's touched cache entries — otherwise the NEXT round would
+// fold deltas into tables describing a store two rounds old.
+func TestSharedStaleEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x57A1E))
+	s := xmldoc.NewStore()
+	if _, err := s.Load("bib.xml", randomBib(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("prices.xml", randomPrices(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Two join views sharing a join group over both documents. An
+	// author-only bib insert is SAPT-irrelevant to both (skip), yet touches
+	// bib.xml — the stale-eviction path.
+	queries := []string{
+		`<result>{
+			for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+			where $b/title = $e/b-title
+			return <pair>{$b/title} {$e/price}</pair> }</result>`,
+		`<result>{
+			for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+			where $b/title = $e/b-title
+			return <deal>{$e/price}</deal> }</result>`,
+	}
+	views := make([]*View, len(queries))
+	for i, q := range queries {
+		v, err := NewView(s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = v
+	}
+	dag := xat.BuildSharedDAG(plansOf(views))
+	if len(dag.Groups) == 0 {
+		t.Fatal("join views share no group; test is vacuous")
+	}
+	opts := Options{Parallelism: 1, CacheBaseTables: true, SkipDisjointViews: true,
+		ShareSubplans: true, SharedDAG: dag}
+	bibRoot, _ := s.RootElem("bib.xml")
+
+	step := func(name string, prims []*update.Primitive) []*MaintStats {
+		t.Helper()
+		wants, err := RecomputeAll(s, queries, deepClonePrims(prims))
+		if err != nil {
+			t.Fatalf("%s recompute: %v", name, err)
+		}
+		stats, err := MaintainAll(s, views, prims, opts)
+		if err != nil {
+			t.Fatalf("%s maintain: %v", name, err)
+		}
+		for i, v := range views {
+			if got := v.XML(); got != wants[i] {
+				t.Fatalf("%s view %d diverged:\ngot:  %s\nwant: %s", name, i, got, wants[i])
+			}
+		}
+		return stats
+	}
+
+	// Warm the shared cache with a relevant round.
+	step("warm", []*update.Primitive{{
+		Kind: update.Insert, Doc: "bib.xml", Parent: bibRoot,
+		Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1994"),
+			xmldoc.Elem("title", xmldoc.TextF(titlesPool[1]))),
+	}})
+
+	// Irrelevant-but-touching round: an author insert under an existing
+	// book changes bib.xml without affecting either view.
+	books := xmldoc.ChildElems(s, bibRoot, "book")
+	stats := step("irrelevant-touch", []*update.Primitive{{
+		Kind: update.Insert, Doc: "bib.xml", Parent: books[0],
+		Frag: xmldoc.Elem("author", xmldoc.Elem("last", xmldoc.TextF("Stale"))),
+	}})
+	for i, ms := range stats {
+		if ms.Skipped != 1 {
+			t.Fatalf("view %d not skipped on the irrelevant round", i)
+		}
+	}
+
+	// Relevant rounds afterwards must still match recomputation: if stale
+	// shared state survived, the fold here would resurrect it.
+	for r := 0; r < 3; r++ {
+		step(fmt.Sprintf("post-%d", r), []*update.Primitive{{
+			Kind: update.Insert, Doc: "bib.xml", Parent: bibRoot,
+			Frag: xmldoc.Elem("book", xmldoc.AttrF("year", "1996"),
+				xmldoc.Elem("title", xmldoc.TextF(titlesPool[(r+2)%len(titlesPool)]))),
+		}})
+	}
+}

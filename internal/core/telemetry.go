@@ -59,16 +59,26 @@ func beginRoundProbe(views []*View) roundProbe {
 	}
 }
 
+// sharedRound summarizes a round's shared-frontier phase for telemetry:
+// groups propagated once, member subscriptions fanned out, and the per-view
+// propagations saved (fanout - groups).
+type sharedRound struct {
+	groups, fanout, hits int
+}
+
 // sample assembles the finished round's RoundSample. out is the per-view
 // stats of a committed round; arenaBytes/arenaChunks were sampled before the
 // round transaction released its arenas.
-func (p roundProbe) sample(out []*MaintStats, views []*View, primsIn, primsOut int, arenaBytes int64, arenaChunks int) obs.RoundSample {
+func (p roundProbe) sample(out []*MaintStats, views []*View, primsIn, primsOut int, arenaBytes int64, arenaChunks int, shr sharedRound) obs.RoundSample {
 	s := obs.RoundSample{
-		PrimsIn:     int32(primsIn),
-		PrimsOut:    int32(primsOut),
-		Views:       int32(len(views)),
-		ArenaBytes:  arenaBytes,
-		ArenaChunks: int32(arenaChunks),
+		PrimsIn:      int32(primsIn),
+		PrimsOut:     int32(primsOut),
+		Views:        int32(len(views)),
+		ArenaBytes:   arenaBytes,
+		ArenaChunks:  int32(arenaChunks),
+		SharedGroups: int32(shr.groups),
+		SharedFanout: int32(shr.fanout),
+		SharedHits:   int32(shr.hits),
 	}
 	if len(out) > 0 {
 		s.ValidateNS = out[0].Validate.Nanoseconds()

@@ -41,6 +41,15 @@ type viewStage struct {
 	alloc *xat.Alloc
 }
 
+// sharedStage is one shared group's staged outcome within a round
+// transaction: its cache partition (registered before the group propagates,
+// so a mid-phase death still clears the staging) and the prepared commit to
+// install. The worker handling group gi is the only writer of slot gi.
+type sharedStage struct {
+	cache *xat.StateCache
+	prep  *xat.PreparedCommit
+}
+
 // roundTxn makes one MaintainAll round all-or-nothing. Every fallible step
 // stages its outcome here — per-view extents under a deepunion.Txn, cache
 // commits as PreparedCommit, store mutations under the store's undo log —
@@ -51,6 +60,11 @@ type roundTxn struct {
 	store  *xmldoc.Store
 	views  []*View
 	stages []viewStage
+	// shared holds the round's shared-group cache commits, one slot per
+	// group of the round's SharedDAG (nil when sharing is off or the DAG is
+	// empty). Installed before the per-view stages at commit; order is
+	// irrelevant — the partitions are disjoint.
+	shared []sharedStage
 }
 
 func newRoundTxn(store *xmldoc.Store, views []*View) *roundTxn {
@@ -62,6 +76,11 @@ func newRoundTxn(store *xmldoc.Store, views []*View) *roundTxn {
 // here can fail — every fallible step already ran.
 func (t *roundTxn) commit() {
 	t.store.CommitUndo()
+	for i := range t.shared {
+		st := &t.shared[i]
+		st.cache.Install(st.prep)
+		t.shared[i] = sharedStage{}
+	}
 	for i, v := range t.views {
 		st := &t.stages[i]
 		if st.staged {
@@ -85,6 +104,10 @@ func (t *roundTxn) commit() {
 // commits are simply dropped. Returns how many pre-images were restored.
 func (t *roundTxn) rollback() int {
 	restored := t.store.RollbackUndo()
+	for i := range t.shared {
+		t.shared[i].cache.Rollback()
+		t.shared[i] = sharedStage{}
+	}
 	for i := range t.stages {
 		st := &t.stages[i]
 		if st.tx != nil {

@@ -89,8 +89,15 @@ type MaintStats struct {
 
 	// Skipped is 1 when the view's Propagate+Apply phases were skipped
 	// because the batch's regions cannot touch it (Options.
-	// SkipDisjointViews); summing over rounds counts skips.
+	// SkipDisjointViews); summing over rounds counts skips. A view counts
+	// as skipped even when a shared prefix it subscribes to ran for other
+	// views this round — the skip describes this view's own work.
 	Skipped int
+
+	// SharedPrefixes counts the shared sub-plan results seeded into this
+	// view's propagation (Options.ShareSubplans): subtrees the view did not
+	// have to re-propagate itself.
+	SharedPrefixes int
 }
 
 // Add accumulates o into s: durations and counters sum field by field, and
@@ -315,8 +322,112 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	vspan.Arg("total", batch.Stats.Total).Arg("irrelevant", batch.Stats.Irrelevant).
 		Arg("rewritten", batch.Stats.Rewritten).End()
 
-	// --- Propagate + Apply per view, all against the pre-update store ---
+	// --- Shared-frontier phase: propagate each shared sub-plan prefix once,
+	// before the per-view pool (Options.ShareSubplans) ---
 	din := deltaInput(store, batch)
+	var dag *xat.SharedDAG
+	if opt.ShareSubplans {
+		plans := make([]*xat.Plan, len(views))
+		for i, v := range views {
+			plans[i] = v.Plan
+		}
+		dag = opt.SharedDAG
+		if !dag.Matches(plans) {
+			dag = xat.BuildSharedDAG(plans)
+		}
+	}
+	// skipFlags precomputes the relevance filter for every view when the
+	// shared phase runs: a group only propagates when at least one LIVE
+	// member subscribes — a view skipped for relevance must not force
+	// shared-prefix work on its behalf alone. seeds[i] carries the shared
+	// results into view i's propagation. Both stay nil when the DAG is empty
+	// so the no-sharing path is exactly the pre-sharing pipeline.
+	var skipFlags []bool
+	var seeds [][]xat.Seed
+	var shr sharedRound
+	if dag != nil && len(dag.Groups) > 0 {
+		sspan := root.Child("SharedPrefixes")
+		skipFlags = make([]bool, len(views))
+		if opt.SkipDisjointViews {
+			// viewDisjoint itself cannot fail, but the pool's dispatch site
+			// can (fault injection) — the round must abort like any other.
+			err = forEachIndex(len(views), opt, func(i int) error {
+				skipFlags[i] = viewDisjoint(store, views[i], batch)
+				return nil
+			})
+			if err != nil {
+				sspan.End()
+				return nil, err
+			}
+		}
+		results := make([]*xat.SharedResult, len(dag.Groups))
+		txn.shared = make([]sharedStage, len(dag.Groups))
+		err = forEachIndex(len(dag.Groups), opt, func(gi int) (gerr error) {
+			g := dag.Groups[gi]
+			defer func() {
+				if r := recover(); r != nil {
+					gerr = fmt.Errorf("shared prefix %d: panic: %v", gi, r)
+				}
+			}()
+			// Register the cache partition before anything fallible runs so
+			// rollback clears its staging even if this task dies mid-way.
+			txn.shared[gi].cache = g.Cache
+			live := 0
+			for _, m := range g.Members {
+				if !skipFlags[m.View] {
+					live++
+				}
+			}
+			if live == 0 {
+				// Every subscriber is skipped: the prefix must not run. Its
+				// cached tables still go stale if the round touches its
+				// documents — stage an eviction-only commit for those.
+				if xat.RegionsTouch(din.Regions, g.Docs) {
+					prep, err := g.Cache.PrepareEvictTouched(din.Regions)
+					if err != nil {
+						return fmt.Errorf("shared prefix %d: %w", gi, err)
+					}
+					txn.shared[gi].prep = prep
+				}
+				return nil
+			}
+			res, err := g.Propagate(din, sspan, jrec.Active())
+			if err != nil {
+				return fmt.Errorf("shared prefix %d: %w", gi, err)
+			}
+			prep, err := g.Cache.Prepare(din.Regions)
+			if err != nil {
+				return fmt.Errorf("shared prefix %d: %w", gi, err)
+			}
+			txn.shared[gi].prep = prep
+			results[gi] = res
+			return nil
+		})
+		if err != nil {
+			sspan.End()
+			return nil, err
+		}
+		seeds = make([][]xat.Seed, len(views))
+		for gi, g := range dag.Groups {
+			res := results[gi]
+			if res == nil {
+				continue
+			}
+			shr.groups++
+			for _, m := range g.Members {
+				if skipFlags[m.View] {
+					continue
+				}
+				seeds[m.View] = append(seeds[m.View], xat.Seed{Ops: m.Ops, Result: res})
+				shr.fanout++
+			}
+		}
+		shr.hits = shr.fanout - shr.groups
+		xat.RecordSharedRound(shr.groups, shr.fanout, shr.hits)
+		sspan.Arg("groups", shr.groups).Arg("fanout", shr.fanout).End()
+	}
+
+	// --- Propagate + Apply per view, all against the pre-update store ---
 	out = make([]*MaintStats, len(views))
 	// Engine stats are staged per view and folded into View.ExecStats only
 	// at commit, keeping all cross-view writes out of the concurrent section
@@ -345,7 +456,16 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		// Relevance filter: when every primitive of the batch is irrelevant
 		// to this view, its extent provably cannot change — skip the
 		// Propagate+Apply phases, leaving a truthful skip verdict behind.
-		if opt.SkipDisjointViews && viewDisjoint(store, v, batch) {
+		// When the shared phase ran, the verdicts were precomputed (the live-
+		// subscriber counts needed them); a view stays skipped even when a
+		// shared prefix it subscribes to ran for other views.
+		skipped := false
+		if skipFlags != nil {
+			skipped = skipFlags[i]
+		} else if opt.SkipDisjointViews {
+			skipped = viewDisjoint(store, v, batch)
+		}
+		if skipped {
 			ms.Skipped = 1
 			vtrack.Arg("skipped", "no region overlap")
 			vrec.Skip("no region overlap")
@@ -368,9 +488,19 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 			alloc = xat.NewAlloc()
 			txn.stages[i].alloc = alloc
 		}
+		// Seeds from the shared phase intercept this view's propagation at
+		// each subscribed frontier: the shared delta tables (heap-allocated,
+		// immutable, fanned out to every subscriber) stand in for the
+		// subtree's own propagation, and the captured lineage replays under
+		// this view's operator ids so Explain stays truthful.
+		var vseeds []xat.Seed
+		if seeds != nil {
+			vseeds = seeds[i]
+		}
+		ms.SharedPrefixes = len(vseeds)
 		pspan := vtrack.Child("Propagate")
 		t0 := time.Now()
-		res, err := xat.PropagateDeltaAlloc(v.Plan, din, pspan, vrec, cache, alloc)
+		res, err := xat.PropagateDeltaShared(v.Plan, din, pspan, vrec, cache, alloc, vseeds)
 		if err != nil {
 			pspan.End()
 			return fmt.Errorf("propagate view %q: %w", v.displayName(i), err)
@@ -457,7 +587,7 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	}
 	if probe.active {
 		recordMaintain(out)
-		obs.Rounds.Append(probe.sample(out, views, len(orig), len(prims), arenaBytes, arenaChunks))
+		obs.Rounds.Append(probe.sample(out, views, len(orig), len(prims), arenaBytes, arenaChunks, shr))
 	}
 	return out, nil
 }

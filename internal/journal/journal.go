@@ -427,6 +427,24 @@ type ViewRec struct {
 // Active reports whether the recorder records anything.
 func (v *ViewRec) Active() bool { return v != nil }
 
+// NewDetachedViewRec returns a recorder not attached to any round: shared
+// sub-plan propagation records into one and the per-view workers replay the
+// captured OpRecords (operator ids remapped) into their own round-attached
+// recorders, so Explain attributes shared-operator deltas to every
+// subscribing view.
+func NewDetachedViewRec(name string) *ViewRec {
+	return &ViewRec{vl: &ViewLineage{View: name}}
+}
+
+// Ops returns the operator records captured so far (shared between caller
+// and recorder; callers treat them as read-only).
+func (v *ViewRec) Ops() []OpRecord {
+	if v == nil {
+		return nil
+	}
+	return v.vl.Ops
+}
+
 // Op records the delta lineage of one operator, truncating In/Out to the
 // journal bounds.
 func (v *ViewRec) Op(rec OpRecord) {

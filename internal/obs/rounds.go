@@ -58,6 +58,13 @@ type RoundSample struct {
 	CacheFolds  int32 `json:"cache_folds"`
 	CacheEvicts int32 `json:"cache_evicts"`
 
+	// Shared sub-plan activity of this round: prefix groups propagated once,
+	// member subscriptions the results fanned out to, and the per-view
+	// subtree propagations sharing saved (fanout - groups).
+	SharedGroups int32 `json:"shared_groups"`
+	SharedFanout int32 `json:"shared_fanout"`
+	SharedHits   int32 `json:"shared_hits"`
+
 	// Deep-union extent traffic of the apply phase.
 	Merged   int32 `json:"merged"`
 	Inserted int32 `json:"inserted"`

@@ -1,7 +1,7 @@
 // Package top renders the xqtop terminal dashboard: a fixed-size text frame
 // summarizing the round-telemetry pipeline — per-phase latency quantiles and
-// sparklines, cache/skip/compaction rates, arena occupancy and an
-// aborted-round log — from one /stats/rounds payload.
+// sparklines, cache/skip/compaction and shared sub-plan rates, arena
+// occupancy and an aborted-round log — from one /stats/rounds payload.
 //
 // Render is pure: frame in, string out, no terminal I/O, no clock, no
 // global state. The callers (cmd/xqtop polling a serving xqview, xqview
@@ -86,6 +86,7 @@ func Render(f Frame, w, h int) string {
 	// Last round plus window-wide rates.
 	var last obs.RoundSample
 	var views, skipped, primsIn, primsOut, hits, misses int64
+	var shGroups, shFanout, shHits int64
 	for _, s := range f.Window {
 		views += int64(s.Views)
 		skipped += int64(s.Skipped)
@@ -93,6 +94,9 @@ func Render(f Frame, w, h int) string {
 		primsOut += int64(s.PrimsOut)
 		hits += int64(s.CacheHits)
 		misses += int64(s.CacheMisses)
+		shGroups += int64(s.SharedGroups)
+		shFanout += int64(s.SharedFanout)
+		shHits += int64(s.SharedHits)
 	}
 	if n := len(f.Window); n > 0 {
 		last = f.Window[n-1]
@@ -107,6 +111,9 @@ func Render(f Frame, w, h int) string {
 	add(" cache   hits %d  misses %d  folds %d  evicts %d · window hit-rate %s",
 		last.CacheHits, last.CacheMisses, last.CacheFolds, last.CacheEvicts,
 		ratio(hits, hits+misses))
+	add(" shared  groups %d  fanout %d  saved %d · window shared hit-rate %s",
+		last.SharedGroups, last.SharedFanout, last.SharedHits,
+		ratio(shHits, shFanout))
 	add(" apply   merged %d  inserted %d  removed %d  modified %d",
 		last.Merged, last.Inserted, last.Removed, last.Modified)
 	add(" arena   %s in %d chunks · heap %d objs/round",

@@ -41,28 +41,31 @@ func fixtureFrame() Frame {
 	}
 	for i := 0; i < 12; i++ {
 		s := obs.RoundSample{
-			Seq:         uint64(31 + i),
-			UnixNano:    1700000000_000000000 + int64(i)*1_000_000_000,
-			ValidateNS:  int64(8_000 + i*1_500),
-			PropagateNS: int64(600_000 + i*90_000),
-			ApplyNS:     int64(90_000 + i*25_000),
-			SourceNS:    int64(3_000 + i*400),
-			TotalNS:     int64(800_000 + i*120_000),
-			PrimsIn:     int32(6 + i%3),
-			PrimsOut:    int32(4 + i%3),
-			Views:       4,
-			Skipped:     int32(i % 2),
-			DeltaRoots:  int32(3 + i%4),
-			CacheHits:   int32(9 + i),
-			CacheMisses: int32(i % 2),
-			CacheFolds:  int32(1 + i%2),
-			Merged:      int32(2 + i%3),
-			Inserted:    int32(1 + i%2),
-			Removed:     int32(i % 2),
-			Modified:    1,
-			ArenaBytes:  int64(40_960 + i*4_096),
-			ArenaChunks: int32(3 + i%2),
-			HeapAllocs:  int64(5_500 + i*11),
+			Seq:          uint64(31 + i),
+			UnixNano:     1700000000_000000000 + int64(i)*1_000_000_000,
+			ValidateNS:   int64(8_000 + i*1_500),
+			PropagateNS:  int64(600_000 + i*90_000),
+			ApplyNS:      int64(90_000 + i*25_000),
+			SourceNS:     int64(3_000 + i*400),
+			TotalNS:      int64(800_000 + i*120_000),
+			PrimsIn:      int32(6 + i%3),
+			PrimsOut:     int32(4 + i%3),
+			Views:        4,
+			Skipped:      int32(i % 2),
+			DeltaRoots:   int32(3 + i%4),
+			CacheHits:    int32(9 + i),
+			CacheMisses:  int32(i % 2),
+			CacheFolds:   int32(1 + i%2),
+			SharedGroups: 2,
+			SharedFanout: int32(5 + i%2),
+			SharedHits:   int32(3 + i%2),
+			Merged:       int32(2 + i%3),
+			Inserted:     int32(1 + i%2),
+			Removed:      int32(i % 2),
+			Modified:     1,
+			ArenaBytes:   int64(40_960 + i*4_096),
+			ArenaChunks:  int32(3 + i%2),
+			HeapAllocs:   int64(5_500 + i*11),
 		}
 		if i == 6 {
 			s.Aborted = true
@@ -142,6 +145,8 @@ func TestRenderContent(t *testing.T) {
 		"validate",
 		"propagate",
 		"#42", // last round's sequence
+		"shared  groups 2  fanout 6  saved 4",
+		"window shared hit-rate",
 		"journal 12/256 (dropped 2)",
 		"aborted rounds",
 		"#37", // the window's aborted round

@@ -86,9 +86,81 @@ func PropagateDeltaCached(p *Plan, in *DeltaInput, parent obs.Span, rec *journal
 // is told the round ran arena-backed so it deep-copies staged tables out at
 // its Prepare boundary. A nil alloc reproduces heap allocation exactly.
 func PropagateDeltaAlloc(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache, alloc *Alloc) (*DeltaResult, error) {
+	return PropagateDeltaShared(p, in, parent, rec, cache, alloc, nil)
+}
+
+// PropagateDeltaShared is PropagateDeltaAlloc with shared sub-plan seeds:
+// each Seed hands the propagation a shared prefix's precomputed round
+// deltas, so when the walk reaches the seed's frontier operator it serves
+// the shared delta table instead of re-propagating the subtree (staging the
+// per-operator deltas on the view's private cache and replaying the shared
+// lineage records, so cache folds and journal output are byte-identical to
+// an unseeded run). Nil/empty seeds reproduce PropagateDeltaAlloc exactly.
+func PropagateDeltaShared(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache, alloc *Alloc, seeds []Seed) (*DeltaResult, error) {
 	if err := fpPropagate.Fire(); err != nil {
 		return nil, err
 	}
+	e := newDeltaEngine(p, in, parent, rec, cache, alloc)
+	if len(seeds) > 0 {
+		e.seeds = make(map[*Op]*Seed, len(seeds))
+		for i := range seeds {
+			s := &seeds[i]
+			e.seeds[s.Frontier()] = s
+		}
+	}
+	root := p.Root
+	if root.Kind == OpExpose {
+		root = root.Inputs[0]
+	}
+	t0 := time.Now()
+	final, err := e.delta(root)
+	if err != nil {
+		return nil, err
+	}
+	col := p.Root.InCol
+	if col == "" && len(final.Cols) > 0 {
+		col = final.Cols[len(final.Cols)-1]
+	}
+	roots := e.materializeDelta(final, col)
+	e.env.Stats.Exec += time.Since(t0)
+	if obs.Enabled() {
+		cDeltaRuns.Inc()
+		cDeltaRows.Add(int64(len(roots)))
+		gSkeletons.Set(int64(len(e.env.Cons)))
+	}
+	return &DeltaResult{Roots: roots, Stats: e.env.Stats}, nil
+}
+
+type deltaEngine struct {
+	plan     *Plan
+	in       *DeltaInput
+	env      *Env // over the post-update reader
+	baseEnv  *Env // over the pre-update store
+	baseMemo map[*Op]*Table
+	cache    *StateCache      // cross-round base-table cache (nil = off)
+	span     obs.Span         // parent span for per-operator tracing (zero = off)
+	rec      *journal.ViewRec // provenance recorder (nil = off)
+	recOut   map[int][]string // op ID -> distinct output lineage keys recorded
+
+	// seeds maps a frontier operator of this plan to its shared group's
+	// precomputed round result (PropagateDeltaShared); nil when the view
+	// subscribes to no shared prefix this round.
+	seeds map[*Op]*Seed
+
+	// Reusable per-engine scratch, so steady-state rounds allocate nothing:
+	tupEnvBase *Env    // envFor result for pre-update tuples
+	navB       navBufs // navigation buffers for deltaNav
+	dColl      Cell    // deltaNav delta-collection scratch
+	pColl      Cell    // deltaNav patch-collection scratch
+	keepRegion *Region // region captured by keepFn
+	keepFn     func(flexkey.Key) bool
+}
+
+// newDeltaEngine builds a propagation engine over one frozen DeltaInput,
+// beginning the cache's round staging. Shared-prefix propagation
+// (SharedGroup.Propagate) and per-view propagation (PropagateDeltaShared)
+// both run on it; p may be nil for sub-plan runs that never touch the root.
+func newDeltaEngine(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.ViewRec, cache *StateCache, alloc *Alloc) *deltaEngine {
 	cache.begin(alloc != nil)
 	e := &deltaEngine{
 		plan:     p,
@@ -136,47 +208,7 @@ func PropagateDeltaAlloc(p *Plan, in *DeltaInput, parent obs.Span, rec *journal.
 		}
 		return flexkey.IsSelfOrAncestorOf(xk, r.Anchor)
 	}
-	root := p.Root
-	if root.Kind == OpExpose {
-		root = root.Inputs[0]
-	}
-	t0 := time.Now()
-	final, err := e.delta(root)
-	if err != nil {
-		return nil, err
-	}
-	col := p.Root.InCol
-	if col == "" && len(final.Cols) > 0 {
-		col = final.Cols[len(final.Cols)-1]
-	}
-	roots := e.materializeDelta(final, col)
-	e.env.Stats.Exec += time.Since(t0)
-	if obs.Enabled() {
-		cDeltaRuns.Inc()
-		cDeltaRows.Add(int64(len(roots)))
-		gSkeletons.Set(int64(len(e.env.Cons)))
-	}
-	return &DeltaResult{Roots: roots, Stats: e.env.Stats}, nil
-}
-
-type deltaEngine struct {
-	plan     *Plan
-	in       *DeltaInput
-	env      *Env // over the post-update reader
-	baseEnv  *Env // over the pre-update store
-	baseMemo map[*Op]*Table
-	cache    *StateCache      // cross-round base-table cache (nil = off)
-	span     obs.Span         // parent span for per-operator tracing (zero = off)
-	rec      *journal.ViewRec // provenance recorder (nil = off)
-	recOut   map[int][]string // op ID -> distinct output lineage keys recorded
-
-	// Reusable per-engine scratch, so steady-state rounds allocate nothing:
-	tupEnvBase *Env    // envFor result for pre-update tuples
-	navB       navBufs // navigation buffers for deltaNav
-	dColl      Cell    // deltaNav delta-collection scratch
-	pColl      Cell    // deltaNav patch-collection scratch
-	keepRegion *Region // region captured by keepFn
-	keepFn     func(flexkey.Key) bool
+	return e
 }
 
 // base executes the sub-plan rooted at o over the pre-update store, or
@@ -258,6 +290,9 @@ var (
 // here: a child span per operator (inputs recurse inside delta1, so spans
 // nest bottom-up on the view's track) and the delta/empty tuple counters.
 func (e *deltaEngine) delta(o *Op) (*Table, error) {
+	if s, ok := e.seeds[o]; ok {
+		return e.deltaSeeded(o, s)
+	}
 	var sp obs.Span
 	if e.span.Enabled() {
 		sp = e.span.Child(opSpanName(o))
@@ -285,6 +320,36 @@ func (e *deltaEngine) delta(o *Op) (*Table, error) {
 		fmt.Printf("== delta op #%d %s ==\n%s\n", o.ID, o.Kind, t.String())
 	}
 	return t, err
+}
+
+// deltaSeeded serves a shared group's precomputed round result at the
+// member view's frontier operator, in place of propagating the subtree:
+// every subtree operator's delta is staged on the view's private cache
+// (Prepare folds its held base tables exactly as an unseeded round would —
+// a touched entry with no staged delta would otherwise survive stale), the
+// shared lineage records are replayed under the member's operator ids at
+// the position the unseeded post-order walk would have emitted them, and
+// the frontier's delta table — heap-allocated by the shared run, immutable
+// downstream — flows into the suffix without copying (the COW boundary:
+// promotion out of the shared run happens once, not per subscriber).
+func (e *deltaEngine) deltaSeeded(o *Op, s *Seed) (*Table, error) {
+	res := s.Result
+	for i, op := range s.Ops {
+		e.cache.noteDelta(op, res.Deltas[i])
+		if e.rec.Active() && i < len(res.Recs) {
+			r := res.Recs[i]
+			r.Op = op.ID
+			e.rec.Op(r)
+		}
+		if e.recOut != nil && i < len(res.OutKeys) {
+			e.recOut[op.ID] = res.OutKeys[i]
+		}
+	}
+	t := res.Deltas[len(res.Deltas)-1]
+	if t == nil {
+		t = e.env.outTable(o)
+	}
+	return t, nil
 }
 
 func tupleKindName(k TupleKind) string {

@@ -222,6 +222,133 @@ func (id ID) AppendKey(buf []byte) []byte {
 	return append(buf, id.Body...)
 }
 
+// Structural fingerprints: a content hash canonicalizing an operator
+// subtree independent of which view compiled it. Two subtrees with equal
+// fingerprints (verified structurally at DAG build time — the hash is a
+// grouping key, not a proof) compute identical tables over identical input,
+// so their per-round delta propagation can run once and fan out to every
+// subscribing view (shared.go). The hash folds the operator kind, every
+// defining parameter and the child fingerprints; computed annotations
+// (OutCols, OrderSchema, Ctx) are deterministic functions of those and need
+// no hashing.
+//
+// Subtrees containing a Tagger or an XML Union are never shareable: a
+// Tagger's constructed identities embed its plan-local operator id, and an
+// XML Union's context tags come from a plan-global sequence — both would
+// leak one view's identity space into another's extent.
+
+// FNV-1a parameters (hash/fnv is not used directly to keep the fold
+// allocation-free over mixed field types).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvStr folds a string field plus a terminator so adjacent fields cannot
+// alias ("ab"+"c" vs "a"+"bc").
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+// fnvUint folds an 8-byte value.
+func fnvUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvBool(h uint64, b bool) uint64 {
+	if b {
+		return fnvUint(h, 1)
+	}
+	return fnvUint(h, 0)
+}
+
+// patternString renders a Tagger pattern canonically for hashing and
+// structural comparison (Describe only shows the element name).
+func patternString(p *TagPattern) string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(p.Name)
+	for _, a := range p.Attrs {
+		b.WriteString("|@" + a.Name + "=")
+		writePatternParts(&b, a.Parts)
+	}
+	b.WriteString("|")
+	writePatternParts(&b, p.Content)
+	return b.String()
+}
+
+func writePatternParts(b *strings.Builder, parts []PatternPart) {
+	for _, part := range parts {
+		if part.IsCol {
+			b.WriteString("{" + part.Col + "}")
+		} else {
+			b.WriteString(part.Lit)
+		}
+	}
+}
+
+// fingerprintOp computes the subtree fingerprint and shareability of o.
+// Child fingerprints must already be computed (Analyze walks inputs first).
+func fingerprintOp(o *Op) (uint64, bool) {
+	h := fnvOffset64
+	h = fnvUint(h, uint64(o.Kind))
+	h = fnvStr(h, o.Doc)
+	h = fnvStr(h, o.InCol)
+	h = fnvStr(h, o.OutCol)
+	if o.Path != nil {
+		h = fnvStr(h, o.Path.String())
+	}
+	h = fnvStr(h, condString(o.Conds))
+	for _, c := range o.GroupCols {
+		h = fnvStr(h, c)
+	}
+	h = fnvUint(h, uint64(len(o.GroupCols)))
+	for _, c := range o.CarryCols {
+		h = fnvStr(h, c)
+	}
+	h = fnvUint(h, uint64(len(o.CarryCols)))
+	h = fnvBool(h, o.GroupByID)
+	h = fnvStr(h, o.Agg)
+	for _, c := range o.OrderCols {
+		h = fnvStr(h, c)
+	}
+	h = fnvStr(h, patternString(o.Pattern))
+	for _, c := range o.UnionCols {
+		h = fnvStr(h, c)
+	}
+	h = fnvBool(h, o.Unordered)
+	share := o.Kind != OpTagger && o.Kind != OpXMLUnion
+	for _, in := range o.Inputs {
+		h = fnvUint(h, in.fp)
+		share = share && in.fpShare
+	}
+	h = fnvUint(h, uint64(len(o.Inputs)))
+	return h, share
+}
+
+// Fingerprint returns the structural content hash of the subtree rooted at
+// o, assigned by Analyze. It is independent of the plan the subtree belongs
+// to (operator ids and view names do not participate).
+func (o *Op) Fingerprint() uint64 { return o.fp }
+
+// Shareable reports whether the subtree rooted at o may be maintained once
+// and fanned out across views: no operator in it constructs identities that
+// embed plan-local state (Tagger tags, XML Union context tags).
+func (o *Op) Shareable() bool { return o.fpShare }
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

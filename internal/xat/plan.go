@@ -175,6 +175,13 @@ type Op struct {
 	// Hot-path precomputations (Analyze):
 	proto      *Table       // empty table of the output shape; clones share Cols/colIdx
 	navSingles []xpath.Path // navigations: one single-step path per Path step
+
+	// Structural fingerprint (Analyze; see ident.go): a content hash over
+	// the operator kind, parameters and child fingerprints — independent of
+	// which view compiled the subtree — plus whether the subtree may be
+	// maintained once and shared across views.
+	fp      uint64
+	fpShare bool
 }
 
 // Plan is an analyzed algebra tree rooted at an Expose operator.
@@ -259,6 +266,7 @@ func Analyze(root *Op) (*Plan, error) {
 		if err := analyzeOp(o, &unionSeq); err != nil {
 			return fmt.Errorf("xat: op %d (%s): %w", o.ID, o.Kind, err)
 		}
+		o.fp, o.fpShare = fingerprintOp(o)
 		// The output shape is fixed per operator: build the column index once
 		// here and let every per-round output table share it via CloneShape.
 		o.proto = NewTable(o.OutCols...)

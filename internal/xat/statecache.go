@@ -247,6 +247,38 @@ func (c *StateCache) Prepare(regions map[string][]*Region) (*PreparedCommit, err
 	return p, nil
 }
 
+// PrepareEvictTouched builds a prepared commit that drops every held entry
+// whose source documents intersect the round's update regions, without any
+// delta folding. It serves shared groups whose documents the round touched
+// but which had zero live subscribers: the shared propagation did not run,
+// so no deltas exist to fold the touched tables forward — keeping them
+// would serve stale state to the next round. Untouched entries (and fresh
+// staging, which cannot exist on this path) are kept verbatim.
+func (c *StateCache) PrepareEvictTouched(regions map[string][]*Region) (*PreparedCommit, error) {
+	if c == nil {
+		return nil, nil
+	}
+	if err := fpCommit.Fire(); err != nil {
+		return nil, err
+	}
+	rs := xmldoc.RegionSet{}
+	p := &PreparedCommit{entries: make(map[int]*cacheEntry, len(c.entries))}
+	for doc, rgs := range regions {
+		for _, r := range rgs {
+			rs.Add(doc, r.Anchor)
+			p.dirty = append(p.dirty, r.Anchor)
+		}
+	}
+	for id, e := range c.entries {
+		if rs.TouchesAny(e.docs) {
+			p.evictions++
+			continue
+		}
+		p.entries[id] = e
+	}
+	return p, nil
+}
+
 // Install atomically swaps in a prepared commit and clears the round's
 // staging. It cannot fail: everything fallible happened in Prepare.
 func (c *StateCache) Install(p *PreparedCommit) {

@@ -5,6 +5,13 @@
 # compared. Exits 1 if any shared benchmark regressed by more than the
 # threshold (default 15%).
 #
+# Captures that store per-run samples (newer scripts emit "ns_samples"
+# next to the median) get benchstat-style output: each side prints its
+# median ± half-spread of the runs as a percentage, so a wide interval
+# flags a noisy capture whose delta should not be over-read. The
+# regression decision itself always compares the medians — the spread is
+# diagnostic, not a tolerance.
+#
 # An optional name filter (egrep pattern) restricts the comparison to
 # matching benchmarks — for pairs where some arms trade off deliberately
 # (e.g. a slower rollback path buying a faster commit path).
@@ -22,13 +29,26 @@ threshold="${3:-15}"
 filter="${4:-.}"
 
 # The capture scripts emit one result object per line, so a line-oriented
-# awk extraction of (name, ns_per_op) is exact for these files.
+# awk extraction of (name, ns_per_op, spread%) is exact for these files.
+# The spread column is the half-width of the sample range relative to the
+# median, 0 when the capture predates per-run samples.
 extract() {
 	awk '
 		/"name":/ {
 			name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
 			ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
-			print name, ns
+			spread = 0
+			if ($0 ~ /"ns_samples": \[/) {
+				s = $0; sub(/.*"ns_samples": \[/, "", s); sub(/\].*/, "", s)
+				n = split(s, a, /, */)
+				min = a[1] + 0; max = a[1] + 0
+				for (i = 2; i <= n; i++) {
+					if (a[i] + 0 < min) min = a[i] + 0
+					if (a[i] + 0 > max) max = a[i] + 0
+				}
+				if (ns + 0 > 0) spread = 100 * (max - min) / 2 / ns
+			}
+			printf "%s %s %.1f\n", name, ns, spread
 		}
 	' "$1" | grep -E -- "$filter" || true
 }
@@ -38,12 +58,16 @@ extract "$new" >"${TMPDIR:-/tmp}/bench_diff_new.$$"
 trap 'rm -f "${TMPDIR:-/tmp}/bench_diff_old.$$" "${TMPDIR:-/tmp}/bench_diff_new.$$"' EXIT
 
 awk -v threshold="$threshold" -v oldfile="$old" -v newfile="$new" '
-	NR == FNR { old[$1] = $2; next }
+	NR == FNR { old[$1] = $2; oldspread[$1] = $3; next }
 	{
 		if (!($1 in old)) next
 		shared++
 		delta = 100 * ($2 - old[$1]) / old[$1]
-		printf "%-60s %14.0f %14.0f %+8.1f%%\n", $1, old[$1], $2, delta
+		if (oldspread[$1] > 0 || $3 > 0)
+			printf "%-60s %14.0f ±%4.1f%% %14.0f ±%4.1f%% %+8.1f%%\n", \
+				$1, old[$1], oldspread[$1], $2, $3, delta
+		else
+			printf "%-60s %14.0f %14.0f %+8.1f%%\n", $1, old[$1], $2, delta
 		if (delta > threshold) {
 			regressed++
 			printf "REGRESSION: %s ns/op up %.1f%% (threshold %s%%)\n", $1, delta, threshold

@@ -1,0 +1,87 @@
+#!/bin/sh
+# bench_pr9.sh — capture the PR 9 shared sub-plan benchmarks into
+# BENCH_PR9.json. BenchmarkMaintainSharedViews is the headline figure:
+# 10/50/100 views over one structurally identical join prefix, with
+# cross-view sharing off (every view re-propagates the join) and on (the
+# join's delta propagates once per round and fans out to private tagger
+# suffixes); check.sh gates share=on at 50 views to ≥5x share=off.
+# BenchmarkMaintainCached and BenchmarkMaintainTransactional re-run under
+# the same names as the seed capture (BENCH_PR9_BASE.json — the pre-PR9
+# tree benchmarked on the SAME machine via scripts/bench_pr7.sh) so
+# scripts/bench_diff.sh and scripts/allocs_diff.sh can hold the pair to
+# parity: single-view rounds have no shareable cross-view prefix, so the
+# sharing machinery must not move them (3% ns/op noise margin, 5% allocs).
+#
+# Each benchmark runs -count times; the capture stores the per-name MEDIAN
+# plus the raw per-run ns/op samples, so scripts/bench_diff.sh can print
+# benchstat-style median ± spread instead of bare ratios.
+#
+# Usage: scripts/bench_pr9.sh [benchtime] [count]
+#   benchtime  go test -benchtime value (default 10x)
+#   count      go test -count value (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+count="${2:-3}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainSharedViews|BenchmarkMaintainCached|BenchmarkMaintainTransactional' \
+	-benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 9,\n'
+	printf '  "benchmark": "BenchmarkMaintainSharedViews+BenchmarkMaintainCached+BenchmarkMaintainTransactional",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "count": %s,\n' "$count"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		function median(vals, name, n,    i, j, tmp, a) {
+			for (i = 1; i <= n; i++) a[i] = vals[name, i]
+			for (i = 2; i <= n; i++)
+				for (j = i; j > 1 && a[j-1] > a[j]; j--) {
+					tmp = a[j]; a[j] = a[j-1]; a[j-1] = tmp
+				}
+			if (n % 2) return a[(n + 1) / 2]
+			return (a[n / 2] + a[n / 2 + 1]) / 2
+		}
+		/^Benchmark(MaintainSharedViews|MaintainCached|MaintainTransactional)/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (!(name in runs)) order[no++] = name
+			r = ++runs[name]
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns[name, r] = $i
+				else if ($(i+1) == "B/op") { bytes[name, r] = $i; hasb[name] = 1 }
+				else if ($(i+1) == "allocs/op") { allocs[name, r] = $i; hasa[name] = 1 }
+				else if ($(i+1) == "views_skipped/op") { skips[name, r] = $i; hass[name] = 1 }
+			}
+			iters[name] += $2
+		}
+		END {
+			for (j = 0; j < no; j++) {
+				name = order[j]; n = runs[name]
+				line = sprintf("    {\"name\": \"%s\", \"runs\": %d, \"iterations\": %d, \"ns_per_op\": %.0f", \
+					name, n, iters[name] / n, median(ns, name, n))
+				line = line ", \"ns_samples\": ["
+				for (i = 1; i <= n; i++)
+					line = line sprintf("%s%.0f", i > 1 ? ", " : "", ns[name, i])
+				line = line "]"
+				if (hasb[name]) line = line sprintf(", \"bytes_per_op\": %.0f", median(bytes, name, n))
+				if (hasa[name]) line = line sprintf(", \"allocs_per_op\": %.0f", median(allocs, name, n))
+				if (hass[name]) line = line sprintf(", \"views_skipped_per_op\": %.3f", median(skips, name, n))
+				line = line "}"
+				if (j) printf(",\n")
+				printf("%s", line)
+			}
+			printf("\n")
+		}
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR9.json
+
+echo "wrote BENCH_PR9.json" >&2

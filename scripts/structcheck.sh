@@ -1,0 +1,63 @@
+#!/bin/sh
+# structcheck.sh — a structcheck-style lint for one file's struct fields:
+# every field declared by a top-level struct in the file must be referenced
+# somewhere in the repo (as a .Field selector or a Field: literal key), or
+# the check fails. Dead fields in plumbing structs are how stale design
+# survives refactors — a field nothing reads is either a bug (someone meant
+# to consume it) or clutter; either way it should not pass CI silently.
+#
+# The match is deliberately permissive: any .Field or Field: anywhere counts,
+# including uses of a same-named field of another type, so the lint can
+# under-report but never false-positives on shared names.
+#
+# Usage: scripts/structcheck.sh [file.go ...]   (default: the PR 9 DAG file)
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for file in "${@:-internal/xat/shared.go}"; do
+	if [ ! -f "$file" ]; then
+		echo "structcheck: $file: no such file" >&2
+		exit 2
+	fi
+	# Collect (struct, field) pairs from the file's top-level struct types.
+	# Field lines inside a struct body start with an identifier (possibly a
+	# comma-separated list) followed by a type; comments and blank lines are
+	# skipped, embedded fields (bare type, no two tokens) too.
+	pairs="$(awk '
+		/^type [A-Za-z_][A-Za-z0-9_]* struct \{/ { s = $2; ins = 1; next }
+		ins && /^\}/ { ins = 0; next }
+		ins {
+			line = $0
+			sub(/\/\/.*/, "", line)
+			sub(/^[ \t]+/, "", line)
+			if (line == "") next
+			n = split(line, parts, /[ \t]+/)
+			if (n < 2) next
+			for (i = 1; i <= n; i++) {
+				name = parts[i]
+				more = sub(/,$/, "", name)
+				if (name !~ /^[A-Za-z_][A-Za-z0-9_]*$/) break
+				print s, name
+				if (!more) break
+			}
+		}
+	' "$file")"
+	if [ -z "$pairs" ]; then
+		echo "structcheck: $file declares no struct fields" >&2
+		exit 2
+	fi
+	echo "$pairs" | while read -r struct field; do
+		if ! grep -rqE --include='*.go' "\.${field}\b|\b${field}:" .; then
+			echo "structcheck: ${file}: ${struct}.${field} is never used" >&2
+			echo "FAIL" >> "${TMPDIR:-/tmp}/structcheck_fail.$$"
+		fi
+	done
+	if [ -f "${TMPDIR:-/tmp}/structcheck_fail.$$" ]; then
+		rm -f "${TMPDIR:-/tmp}/structcheck_fail.$$"
+		status=1
+	fi
+	count="$(echo "$pairs" | wc -l | tr -d ' ')"
+	echo "structcheck: $file: $count fields checked" >&2
+done
+exit "$status"

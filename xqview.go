@@ -31,6 +31,7 @@ import (
 	"xqview/internal/journal"
 	"xqview/internal/obs"
 	"xqview/internal/update"
+	"xqview/internal/xat"
 	"xqview/internal/xmldoc"
 )
 
@@ -44,6 +45,22 @@ type Database struct {
 	opts  core.Options
 	log   *obs.Logger
 	rec   *journal.StreamWriter
+}
+
+// rebuildSharedDAG regroups the registered views' plans into the shared
+// sub-plan DAG maintenance rounds reuse across rounds (warm shared cache
+// partitions). Callers hold db.mu. A rebuild starts from empty partitions;
+// the next round re-derives them.
+func (db *Database) rebuildSharedDAG() {
+	if !db.opts.ShareSubplans {
+		db.opts.SharedDAG = nil
+		return
+	}
+	plans := make([]*xat.Plan, len(db.views))
+	for i, v := range db.views {
+		plans[i] = v.view.Plan
+	}
+	db.opts.SharedDAG = xat.BuildSharedDAG(plans)
 }
 
 // NewDatabase creates an empty database.
@@ -83,6 +100,21 @@ func (db *Database) SetSkipDisjointViews(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.opts.SkipDisjointViews = on
+}
+
+// SetShareSubplans toggles cross-view shared sub-plan maintenance: operator
+// subtrees that appear (structurally identical) in two or more view plans are
+// grouped into a shared DAG and each group's delta is propagated exactly once
+// per maintenance round, then fanned out to every subscribing view's private
+// plan suffix. Off by default. Results, journal records and explain output are
+// byte-identical either way; only the propagate-phase cost changes — rounds
+// over N overlapping views approach the cost of one view plus N cheap
+// suffixes.
+func (db *Database) SetShareSubplans(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.ShareSubplans = on
+	db.rebuildSharedDAG()
 }
 
 // SetArena toggles round-scoped arena allocation for maintenance rounds
@@ -171,10 +203,12 @@ func (db *Database) LoadDocument(name, src string) error {
 	defer db.mu.Unlock()
 	_, err := db.store.Load(name, src)
 	// The store changed outside a maintenance round: cached propagation
-	// state no longer matches it.
+	// state no longer matches it — private view caches and the shared DAG's
+	// partitions alike.
 	for _, v := range db.views {
 		v.view.InvalidateCache()
 	}
+	db.rebuildSharedDAG()
 	return err
 }
 
@@ -220,6 +254,8 @@ func (db *Database) CreateView(query string) (*View, error) {
 	cv.Name = fmt.Sprintf("view-%d", len(db.views))
 	v := &View{db: db, view: cv}
 	db.views = append(db.views, v)
+	// A new plan may overlap existing ones: regroup the shared DAG.
+	db.rebuildSharedDAG()
 	return v, nil
 }
 
