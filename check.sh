@@ -155,9 +155,62 @@ if [ -f BENCH_PR9.json ]; then
 	' BENCH_PR9.json >&2
 fi
 
+# PR 10 MVCC snapshot serving. The concurrency battery runs under -race
+# with an explicit deadline (a lost wakeup or livelock in the epoch
+# registry must fail the gate, not hang it): the randomized linearizability
+# sweep, the epoch-reclamation leak test, and the crash-consistency sweeps
+# that pin reader isolation across aborted rounds. Arena poison is on under
+# -race, so a published extent aliasing round-arena memory fails here too.
+echo "== MVCC concurrency battery (-race, 300s deadline)" >&2
+go test -race -timeout 300s \
+	-run 'TestSnapshotLinearizability|TestSnapshotEpochReclamation|TestSnapRegLifecycle|TestCrashConsistencyEverySite|TestSharedCrashConsistencyEverySite' \
+	. ./internal/core/ >&2
+
+# The seed→PR10 pair is a parity lock on the maintenance arms: the bench
+# harness drives core.MaintainAll with no epoch registry attached, so the
+# MVCC machinery (COW extent apply, candidate version build, the epoch
+# registry) must not move them (3% ns/op noise margin, 5% allocs).
+# BENCH_PR10_BASE.json is the pre-PR10 tree re-benchmarked on the SAME
+# machine as BENCH_PR10.json (cross-machine captures differ by more than
+# the gate margin): git stash; scripts/bench_pr9.sh 10x 5; git stash pop;
+# edit "pr" to "10-base"; mv BENCH_PR9.json BENCH_PR10_BASE.json.
+if [ -f BENCH_PR10_BASE.json ] && [ -f BENCH_PR10.json ]; then
+	echo "== bench_diff BENCH_PR10_BASE.json BENCH_PR10.json (3% gate, maintenance arms)" >&2
+	scripts/bench_diff.sh BENCH_PR10_BASE.json BENCH_PR10.json 3 'cache=on|cache=off|commit|rollback' >&2
+	echo "== allocs_diff BENCH_PR10_BASE.json BENCH_PR10.json (5% gate)" >&2
+	scripts/allocs_diff.sh BENCH_PR10_BASE.json BENCH_PR10.json 5 >&2
+fi
+# Within the PR 10 capture, the headline gate: snapshot read p99 with
+# maintenance rounds committing concurrently must stay under 2x the
+# reader-only p99 — readers acquire a published version and never wait for
+# the writer, so the only tail cost is sharing the machine with the round
+# itself.
+if [ -f BENCH_PR10.json ]; then
+	echo "== mixed-workload read tail (p99 rounds=on ≤ 2x rounds=off)" >&2
+	awk '
+		/"name": "BenchmarkServeMixed\/read\/rounds=off"/ {
+			off = $0; sub(/.*"p99_ns": /, "", off); sub(/[,}].*/, "", off)
+		}
+		/"name": "BenchmarkServeMixed\/read\/rounds=on"/ {
+			on = $0; sub(/.*"p99_ns": /, "", on); sub(/[,}].*/, "", on)
+		}
+		END {
+			if (!off || !on) { print "BENCH_PR10.json missing ServeMixed read arms"; exit 2 }
+			ratio = on / off
+			printf "read p99 rounds on/off: %.0f / %.0f ns (%.2fx, threshold 2x)\n", on, off, ratio
+			if (ratio > 2) { printf "REGRESSION: concurrent rounds inflate read p99 %.2fx > 2x\n", ratio; exit 1 }
+		}
+	' BENCH_PR10.json >&2
+fi
+
 # Unused-field lint over the PR 9 DAG structs: a field of the shared-DAG
 # plumbing that nothing reads means a broken subscription or fan-out path.
 echo "== structcheck (shared DAG structs)" >&2
 sh scripts/structcheck.sh internal/xat/shared.go internal/core/txn.go >&2
+
+# Unused-field lint over the PR 10 MVCC structs: a field of the version or
+# registry plumbing that nothing reads means a broken publish or drain path.
+echo "== structcheck (MVCC snapshot structs)" >&2
+sh scripts/structcheck.sh internal/core/snapshot.go internal/xmldoc/snapshot.go >&2
 
 echo "check.sh: all green" >&2

@@ -34,6 +34,15 @@
 // (SIGINT/SIGTERM shuts down and still flushes -trace and -journal output).
 // -top draws the xqtop dashboard in-process instead of over HTTP.
 //
+// Snapshot serving: with -http, the read endpoints /view (a view's extent),
+// /query?q= (ad-hoc XQuery) and /snapshot (epoch + contents digest) answer
+// from lock-free MVCC snapshots — each response is one published version's
+// bytes, served at full speed even while maintenance rounds commit.
+// -readers N runs the mixed-workload mode: N concurrent snapshot readers
+// serve the view in-process while -updates or -replay applies, and the
+// drain report logs the reader latency p50/p99 (also exported as the
+// xqview_read_seconds histogram).
+//
 // Provenance: -journal dumps the maintenance journal (per-round verdicts,
 // operator lineage and apply fusions) as JSON; -explain view=key (or just
 // -explain key) prints the causal chain for one view node — which update
@@ -153,6 +162,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	recordFile := fs.String("record", "", "stream every applied update batch to this file (replayable with -replay)")
 	replayFile := fs.String("replay", "", "re-apply a recorded update stream instead of -updates")
 	faultSpec := fs.String("fault", "", "inject a deterministic maintenance fault, as site[:error|panic[:hit]] (e.g. deepunion.apply:panic:1); the failed round rolls back and the view stays intact")
+	readers := fs.Int("readers", 0, "mixed-workload mode: N concurrent snapshot readers serve the view while -updates/-replay applies, reporting read latency p50/p99")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,6 +172,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *updatesFile != "" && *replayFile != "" {
 		return fmt.Errorf("-updates and -replay are mutually exclusive")
+	}
+	if *readers < 0 {
+		return fmt.Errorf("-readers: want a non-negative count, got %d", *readers)
+	}
+	if *readers > 0 && *updatesFile == "" && *replayFile == "" {
+		return fmt.Errorf("-readers needs -updates or -replay (readers measure reads concurrent with maintenance)")
 	}
 	if *journalDump || *explainKey != "" || *faultSpec != "" {
 		// Journal this process's rounds from a clean slate, restoring the
@@ -216,9 +232,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		db.SetTracer(tracer)
 		obs.SetEnabled(true)
 	}
-	if *topFlag {
+	if *topFlag || *readers > 0 {
 		// The dashboard reads the round ring; recording must be on before
-		// the first maintenance round runs.
+		// the first maintenance round runs. The reader pool likewise records
+		// snapshot telemetry (epoch/readers gauges, read latency histogram).
 		obs.SetEnabled(true)
 	}
 	if *httpAddr != "" {
@@ -229,11 +246,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		srv := &http.Server{Handler: obs.Handler(obs.Default,
 			obs.Route{Pattern: "/journal", Handler: journal.Default.HTTPHandler()},
-			obs.Route{Pattern: "/stats/rounds", Handler: obs.RoundsHandler(obs.Default, obs.Rounds, journalExtras)})}
+			obs.Route{Pattern: "/stats/rounds", Handler: obs.RoundsHandler(obs.Default, obs.Rounds, journalExtras)},
+			obs.Route{Pattern: "/snapshot", Handler: snapshotHandler(db)},
+			obs.Route{Pattern: "/view", Handler: viewHandler(db)},
+			obs.Route{Pattern: "/query", Handler: queryHandler(db)})}
 		go srv.Serve(ln)
 		defer ln.Close()
 		log.Info("observability endpoint up", "addr", ln.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/ /journal /stats/rounds")
+			"paths", "/metrics /debug/vars /debug/pprof/ /journal /stats/rounds /snapshot /view /query")
 	}
 
 	for _, d := range docs {
@@ -324,6 +344,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stderr, "-- initial extent --")
 	fmt.Fprintln(stderr, render())
+	var stopReaders func() readerReport
+	if *readers > 0 {
+		stopReaders = startReaders(db, v.Name(), *readers)
+		log.Info("mixed-workload readers up", "readers", *readers)
+	}
+	drainReaders := func() {
+		if stopReaders == nil {
+			return
+		}
+		rep := stopReaders()
+		stopReaders = nil
+		log.Info("mixed-workload readers drained", "readers", *readers,
+			"reads", rep.Reads, "read_errors", rep.Errors,
+			"read_p50", rep.P50, "read_p99", rep.P99)
+	}
+	defer drainReaders() // aborted rounds must still drain the pool
 	if *replayFile != "" {
 		f, err := os.Open(*replayFile)
 		if err != nil {
@@ -348,6 +384,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stderr, rep)
 		}
 	}
+	drainReaders()
 	fmt.Fprintln(stdout, render())
 	return finish()
 }

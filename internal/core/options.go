@@ -76,6 +76,15 @@ type Options struct {
 	// merging adjacent insert fragments. Compaction is on by default; every
 	// compaction decision is journaled so explain output stays truthful.
 	DisableCompaction bool
+
+	// Snapshots, when non-nil, is the MVCC epoch registry the round publishes
+	// into: after the source refresh succeeds (and before the infallible
+	// commit), the round builds a candidate Version — store delta from the
+	// undo log, staged extents, prepared cache views — and publishes it with
+	// a single pointer swap once the commit installed. Readers holding older
+	// versions are undisturbed. Nil (the default for direct MaintainAll
+	// callers) skips the candidate build entirely and costs nothing.
+	Snapshots *SnapReg
 }
 
 // getOpts resolves the variadic options accepted by the maintenance entry

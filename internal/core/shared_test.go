@@ -284,10 +284,10 @@ func TestSharedCrashConsistencyEverySite(t *testing.T) {
 				if len(dagA.Groups) == 0 {
 					t.Fatal("crash queries share no prefixes; sweep is vacuous")
 				}
-				optsA := crashOpts
+				optsA := a.opts()
 				optsA.ShareSubplans, optsA.SharedDAG = true, dagA
 				optsA.SkipDisjointViews = true
-				optsB := crashOpts
+				optsB := b.opts()
 				optsB.ShareSubplans, optsB.SharedDAG = true, dagB
 				optsB.SkipDisjointViews = true
 

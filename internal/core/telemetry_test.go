@@ -108,3 +108,36 @@ func TestRoundTelemetryDisabled(t *testing.T) {
 		t.Fatalf("disabled round recorded %d samples, want 0", got)
 	}
 }
+
+// TestRoundTelemetrySnapshotFields checks the MVCC columns of the round
+// sample: a round committed through an epoch registry records the epoch it
+// published, the store snapshot's overlay depth, and — with a reader handle
+// held across the swap — the outstanding reader and retired-version counts.
+func TestRoundTelemetrySnapshotFields(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	obs.Rounds.Reset()
+	s, views, prims := obsFixture(t)
+	reg := NewSnapReg()
+	reg.PublishFull(s, views)
+	h := reg.Acquire() // pins the pre-round version across the swap
+	defer h.Release()
+	if _, err := MaintainAll(s, views, prims, Options{Snapshots: reg}); err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := obs.Rounds.Last()
+	if !ok {
+		t.Fatal("no sample retained")
+	}
+	if sm.SnapEpoch != 2 {
+		t.Fatalf("snap_epoch = %d, want 2 (full publish then one round)", sm.SnapEpoch)
+	}
+	if sm.SnapDepth < 1 {
+		t.Fatalf("snap_depth = %d, want >= 1", sm.SnapDepth)
+	}
+	if sm.SnapReaders < 1 {
+		t.Fatalf("snap_readers = %d, want the held handle counted", sm.SnapReaders)
+	}
+	if sm.SnapRetired != 1 {
+		t.Fatalf("snap_retired = %d, want the pinned pre-round version", sm.SnapRetired)
+	}
+}

@@ -17,7 +17,7 @@ var fpRefresh = faultinject.Register("core.refresh")
 // transaction had to restore.
 var (
 	cRollbacks        = obs.Default.CounterOf("xqview_round_rollbacks_total", "maintenance rounds rolled back")
-	cRollbackRestored = obs.Default.CounterOf("xqview_rollback_restored_total", "pre-images restored by round rollbacks")
+	cRollbackRestored = obs.Default.CounterOf("xqview_rollback_restored_total", "store pre-images restored plus candidate extent copies abandoned by round rollbacks")
 )
 
 // viewStage is one view's staged outcome within a round transaction. The
@@ -25,8 +25,9 @@ var (
 // index-addressed ownership as the out/propStats slots), and the slots are
 // only read after the pool joins.
 //
-// tx and cache are registered before the apply phase runs, so a worker that
-// dies mid-apply still gets its extent mutations rolled back; extent/prep
+// tx and cache are registered before the apply phase runs. Apply is
+// copy-on-write, so a worker that dies mid-apply leaves the live extent
+// untouched and rollback just abandons the candidate copies; extent/prep
 // land only after every fallible per-view step succeeded.
 type viewStage struct {
 	staged bool
@@ -98,10 +99,11 @@ func (t *roundTxn) commit() {
 }
 
 // rollback undoes everything the round touched: source-refresh mutations via
-// the store undo log, extent node mutations via each view's deepunion.Txn,
-// and cache staging via Rollback (held cache entries stay — they describe
-// the pre-round store, which this restores). Staged extents and prepared
-// commits are simply dropped. Returns how many pre-images were restored.
+// the store undo log, candidate extent copies by abandoning each view's
+// deepunion.Txn (the live extent was never written), and cache staging via
+// Rollback (held cache entries stay — they describe the pre-round store,
+// which this restores). Staged extents and prepared commits are simply
+// dropped. Returns store pre-images restored plus copies abandoned.
 func (t *roundTxn) rollback() int {
 	restored := t.store.RollbackUndo()
 	for i := range t.shared {

@@ -20,9 +20,21 @@ import (
 // match a fault-free twin exactly.
 
 // crashArm is one independent store+views fixture for lockstep comparison.
+// Each arm carries its own MVCC epoch registry, so the fault sweeps cover
+// the snapshot-build and pointer-swap boundaries of the commit path and the
+// reader-side invariants can be asserted against in-flight handles.
 type crashArm struct {
 	store *xmldoc.Store
 	views []*View
+	reg   *SnapReg
+}
+
+// opts returns the arm's maintenance options: the shared crashOpts plus
+// this arm's own epoch registry.
+func (a *crashArm) opts() Options {
+	o := crashOpts
+	o.Snapshots = a.reg
+	return o
 }
 
 var crashQueries = []string{
@@ -43,7 +55,7 @@ func newCrashArm(t *testing.T, bibXML, pricesXML string) *crashArm {
 	if _, err := s.Load("prices.xml", pricesXML); err != nil {
 		t.Fatal(err)
 	}
-	a := &crashArm{store: s}
+	a := &crashArm{store: s, reg: NewSnapReg()}
 	for _, q := range crashQueries {
 		v, err := NewView(s, q)
 		if err != nil {
@@ -51,7 +63,21 @@ func newCrashArm(t *testing.T, bibXML, pricesXML string) *crashArm {
 		}
 		a.views = append(a.views, v)
 	}
+	a.reg.PublishFull(a.store, a.views)
 	return a
+}
+
+// readerFrame captures everything an in-flight reader handle serves: the
+// store snapshot's dump and every view frame's serialization. A handle's
+// frame must stay byte-identical for as long as the handle is held, no
+// matter what rounds commit or abort behind it.
+func readerFrame(v *Version) string {
+	var b strings.Builder
+	b.WriteString(v.Store.DebugDump())
+	for i := range v.Frames {
+		b.WriteString(v.Frames[i].XML())
+	}
+	return b.String()
 }
 
 // snapshot captures everything the rollback contract promises to restore.
@@ -108,20 +134,30 @@ func TestCrashConsistencyEverySite(t *testing.T) {
 				a := newCrashArm(t, bib, prices) // faulted arm
 				b := newCrashArm(t, bib, prices) // fault-free twin
 				warm := randomBatch(t, rng, a.store, 2)
-				if _, err := MaintainAll(a.store, a.views, deepClonePrims(warm), crashOpts); err != nil {
+				if _, err := MaintainAll(a.store, a.views, deepClonePrims(warm), a.opts()); err != nil {
 					t.Fatalf("warmup: %v", err)
 				}
-				if _, err := MaintainAll(b.store, b.views, deepClonePrims(warm), crashOpts); err != nil {
+				if _, err := MaintainAll(b.store, b.views, deepClonePrims(warm), b.opts()); err != nil {
 					t.Fatalf("twin warmup: %v", err)
 				}
 				pre := a.snapshot()
 				prims := randomBatch(t, rng, a.store, 3)
 				primsA, primsB := deepClonePrims(prims), deepClonePrims(prims)
 
+				// An in-flight reader acquired before the faulted round: it
+				// must keep serving exactly its version's bytes throughout
+				// the abort, and the abort must not advance the epoch.
+				h := a.reg.Acquire()
+				if h == nil {
+					t.Fatal("no version published before the faulted round")
+				}
+				hFrame := readerFrame(h)
+				preEpoch := a.reg.Epoch()
+
 				if err := faultinject.Arm(site, mode, 1); err != nil {
 					t.Fatal(err)
 				}
-				stats, err := MaintainAll(a.store, a.views, primsA, crashOpts)
+				stats, err := MaintainAll(a.store, a.views, primsA, a.opts())
 				if err == nil {
 					t.Fatalf("armed %s did not fail the round", site)
 				}
@@ -138,17 +174,36 @@ func TestCrashConsistencyEverySite(t *testing.T) {
 				if d := pre.diff(a.snapshot()); d != "" {
 					t.Fatalf("rollback after %s (%s) not byte-identical to pre-round state: %s", site, mode, d)
 				}
+				if got := a.reg.Epoch(); got != preEpoch {
+					t.Fatalf("aborted round advanced the epoch: %d -> %d", preEpoch, got)
+				}
+				if got := readerFrame(h); got != hFrame {
+					t.Fatalf("in-flight reader's frame changed across the abort at %s (%s)", site, mode)
+				}
 
 				// The one-shot point has disarmed itself: the retry must
 				// succeed and land byte-identical to the fault-free twin.
-				if _, err := MaintainAll(a.store, a.views, primsA, crashOpts); err != nil {
+				if _, err := MaintainAll(a.store, a.views, primsA, a.opts()); err != nil {
 					t.Fatalf("retry after %s: %v", site, err)
 				}
-				if _, err := MaintainAll(b.store, b.views, primsB, crashOpts); err != nil {
+				if _, err := MaintainAll(b.store, b.views, primsB, b.opts()); err != nil {
 					t.Fatalf("twin round: %v", err)
 				}
 				if d := a.snapshot().diff(b.snapshot()); d != "" {
 					t.Fatalf("retried round diverged from fault-free twin: %s", d)
+				}
+				if got := a.reg.Epoch(); got <= preEpoch {
+					t.Fatalf("committed retry did not advance the epoch: %d -> %d", preEpoch, got)
+				}
+				// The reader's handle still serves its original frame even
+				// after a later round committed past it; only Release lets
+				// the version drain.
+				if got := readerFrame(h); got != hFrame {
+					t.Fatalf("reader's frame changed after a later commit at %s (%s)", site, mode)
+				}
+				h.Release()
+				if n := a.reg.RetiredCount(); n != 0 {
+					t.Fatalf("released reader left %d retired versions undrained", n)
 				}
 			})
 		}
@@ -179,7 +234,7 @@ func TestCrashConsistencySeededSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, merr := MaintainAll(a.store, a.views, primsA, crashOpts)
+		_, merr := MaintainAll(a.store, a.views, primsA, a.opts())
 		fired := faultinject.Fired(site)
 		faultinject.Reset()
 		if fired {
@@ -189,7 +244,7 @@ func TestCrashConsistencySeededSweep(t *testing.T) {
 			if d := pre.diff(a.snapshot()); d != "" {
 				t.Fatalf("seed %d (%s %s hit=%d): rollback not byte-identical: %s", seed, site, mode, hit, d)
 			}
-			if _, err := MaintainAll(a.store, a.views, primsA, crashOpts); err != nil {
+			if _, err := MaintainAll(a.store, a.views, primsA, a.opts()); err != nil {
 				t.Fatalf("seed %d retry: %v", seed, err)
 			}
 		} else {
@@ -200,7 +255,7 @@ func TestCrashConsistencySeededSweep(t *testing.T) {
 				t.Fatalf("seed %d: site %s never fired but round failed: %v", seed, site, merr)
 			}
 		}
-		if _, err := MaintainAll(b.store, b.views, primsB, crashOpts); err != nil {
+		if _, err := MaintainAll(b.store, b.views, primsB, b.opts()); err != nil {
 			t.Fatalf("seed %d twin: %v", seed, err)
 		}
 		if d := a.snapshot().diff(b.snapshot()); d != "" {

@@ -512,13 +512,13 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 
 		// Apply under the round transaction: tx and cache are registered in
 		// the view's stage slot (each worker owns slot i, like out[i]) before
-		// the first extent node is touched, so even a mid-apply death rolls
-		// back; the staged root slice is a private copy and the live extent
-		// pointer is only swapped at commit.
+		// the first extent node is touched. Apply is copy-on-write — the live
+		// extent is never written, the staged roots are a candidate version
+		// sharing untouched subtrees with it — so even a mid-apply death
+		// leaves the extent intact and rollback just abandons the copies.
 		aspan := vtrack.Child("Apply")
 		t0 = time.Now()
 		tx := deepunion.NewTxn()
-		tx.SetAlloc(alloc) // pre-image log dies with the round arena
 		txn.stages[i].tx = tx
 		txn.stages[i].cache = cache
 		staged, err := deepunion.ApplyTx(append([]*xat.VNode(nil), v.Extent...), res.Roots, &ms.Union, vrec, tx)
@@ -563,6 +563,27 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	srcTime := time.Since(t0)
 	sspan.End()
 
+	// --- Candidate version: with an epoch registry attached, assemble the
+	// next MVCC version while the undo log is still live (its touched-key
+	// set is the store delta). Both fault points fire before txn.commit(),
+	// so an abort here leaves the old version published and rolls the
+	// writer-side structures back byte-identically. ---
+	var cand *Version
+	if opt.Snapshots != nil {
+		bspan := root.Child("SnapshotBuild")
+		cand, err = buildCandidate(opt.Snapshots, store, views, txn)
+		if err != nil {
+			bspan.End()
+			return nil, err
+		}
+		if err = fpSnapSwap.Fire(); err != nil {
+			bspan.End()
+			err = fmt.Errorf("snapshot swap: %w", err)
+			return nil, err
+		}
+		bspan.Arg("seq", int(cand.Seq)).End()
+	}
+
 	// --- Commit: install every staged outcome together. Nothing below can
 	// fail — all fallible steps ran above. ---
 	// Arena occupancy must be priced before commit: commit releases (and in
@@ -577,6 +598,12 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 		}
 	}
 	txn.commit()
+	if cand != nil {
+		// The pointer swap: readers acquiring from here on see the
+		// post-round state; readers holding older versions drain at their
+		// own pace.
+		opt.Snapshots.Publish(cand)
+	}
 	for i, v := range views {
 		v.ExecStats.Add(propStats[i])
 	}
@@ -587,7 +614,14 @@ func maintainAll(store *xmldoc.Store, views []*View, prims []*update.Primitive, 
 	}
 	if probe.active {
 		recordMaintain(out)
-		obs.Rounds.Append(probe.sample(out, views, len(orig), len(prims), arenaBytes, arenaChunks, shr))
+		s := probe.sample(out, views, len(orig), len(prims), arenaBytes, arenaChunks, shr)
+		if cand != nil {
+			s.SnapEpoch = int64(cand.Seq)
+			s.SnapRetired = int32(opt.Snapshots.RetiredCount())
+			s.SnapReaders = int32(gSnapReaders.Value())
+			s.SnapDepth = int32(cand.Store.Depth())
+		}
+		obs.Rounds.Append(s)
 	}
 	return out, nil
 }

@@ -54,8 +54,8 @@ var (
 )
 
 // applyCtx threads the stats sink, the set of nodes whose children may
-// need pruning after all deltas merged, and the optional extent transaction
-// recording pre-images of every node the pass mutates.
+// need pruning after all deltas merged, and the copy-on-write tracker that
+// hands out round-private copies of every node the pass mutates.
 type applyCtx struct {
 	st    *Stats
 	dirty map[*xat.VNode]bool
@@ -73,11 +73,11 @@ func (ctx *applyCtx) find(idx map[string]*xat.VNode, id xat.ID) (*xat.VNode, boo
 	return n, ok
 }
 
-// touch records n's pre-image when the pass runs under a transaction.
-func (ctx *applyCtx) touch(n *xat.VNode) {
-	if ctx.tx != nil {
-		ctx.tx.touch(n)
-	}
+// findPos looks id up in a position index without allocating the key string.
+func (ctx *applyCtx) findPos(idx map[string]int, id xat.ID) (int, bool) {
+	ctx.keyBuf = id.AppendKey(ctx.keyBuf[:0])
+	i, ok := idx[string(ctx.keyBuf)]
+	return i, ok
 }
 
 // Apply merges the delta trees into the view roots and prunes dead
@@ -126,17 +126,25 @@ func ApplyRec(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.V
 	return ApplyTx(roots, deltas, st, rec, nil)
 }
 
-// ApplyTx is ApplyRec under an optional extent transaction: every node the
-// pass mutates is pre-imaged into tx first, so the caller can roll the
-// extent back if the round fails later. The caller must pass a private copy
-// of the root slice (ApplyTx appends to and compacts it); the nodes behind
-// it may stay shared with the live extent. A nil tx applies directly.
+// ApplyTx is ApplyRec under a copy-on-write tracker: the extent handed in
+// is never written — every node the pass would mutate is replaced by a
+// round-private copy (untouched subtrees stay shared by pointer), so the
+// returned roots are a CANDIDATE next version of the extent. The caller
+// commits by swapping its extent pointer to the returned slice, and rolls
+// back by abandoning it; readers holding the pre-round extent are
+// undisturbed either way. The caller must pass a private copy of the root
+// slice (ApplyTx appends to and compacts it). A nil tx uses a pooled
+// tracker for the duration of the pass.
 func ApplyTx(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.ViewRec, tx *Txn) ([]*xat.VNode, error) {
 	if err := fpApply.Fire(); err != nil {
 		return nil, err
 	}
 	if st == nil {
 		st = &Stats{}
+	}
+	if tx == nil {
+		tx = NewTxn()
+		defer tx.Release()
 	}
 	if rec.Active() {
 		for _, d := range deltas {
@@ -153,22 +161,29 @@ func ApplyTx(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.Vi
 		}()
 	}
 	ctx := &applyCtx{st: st, dirty: map[*xat.VNode]bool{}, tx: tx}
-	idx := map[string]*xat.VNode{}
-	for _, r := range roots {
-		idx[r.ID.Key()] = r
+	idx := map[string]int{}
+	for i, r := range roots {
+		idx[r.Key()] = i
 	}
 	rootsDirty := false
 	for _, d := range deltas {
-		if ex, ok := ctx.find(idx, d.ID); ok {
-			ctx.merge(ex, d)
-			if ex.Count <= 0 {
+		if pos, ok := ctx.findPos(idx, d.ID); ok {
+			old := roots[pos]
+			nr := ctx.merge(old, d)
+			if nr != old {
+				roots[pos] = nr
+			}
+			// Checked even when this delta changed nothing: an earlier delta
+			// of the same batch may have zeroed the root's count.
+			if nr.Count <= 0 {
 				rootsDirty = true
 			}
 			continue
 		}
 		cp := d.Clone()
+		tx.adopt(cp)
+		idx[cp.Key()] = len(roots)
 		roots = append(roots, cp)
-		idx[cp.ID.Key()] = cp
 		st.Inserted++
 		if cp.Count <= 0 {
 			rootsDirty = true
@@ -197,24 +212,41 @@ func ApplyTx(roots []*xat.VNode, deltas []*xat.VNode, st *Stats, rec *journal.Vi
 	return roots, nil
 }
 
-// merge folds delta node d into existing node ex. No pruning happens here:
-// counts may transit through zero while the batch's deltas accumulate.
-func (ctx *applyCtx) merge(ex, d *xat.VNode) {
-	ctx.touch(ex)
+// merge folds delta node d into the subtree rooted at ex WITHOUT writing
+// ex, returning the node that stands for it afterwards: ex itself when the
+// subtree absorbed no change (a zero-count spine descent that found nothing
+// to do — the common case for patch spines), or a round-private copy
+// carrying the merged state. Copies bubble up — a changed child forces a
+// copy of its parent, to splice the new child pointer, while untouched
+// siblings stay shared — so the copy set tracks the nodes that actually
+// changed, not the nodes the delta visited. No pruning happens here: counts
+// may transit through zero while the batch's deltas accumulate.
+func (ctx *applyCtx) merge(ex, d *xat.VNode) *xat.VNode {
 	ctx.st.Merged++
-	ex.Count += d.Count
+	out := ex // promoted to a round-private copy on the first real change
+	if d.Count != 0 {
+		out = ctx.tx.Writable(out)
+		out.Count += d.Count
+	}
 	if d.Mod {
-		ex.Value = d.Value
+		out = ctx.tx.Writable(out)
+		out.Value = d.Value
 		ctx.st.Modified++
 	}
 	if len(d.Attrs) > 0 {
-		aidx := map[string]*xat.VNode{}
-		for _, a := range ex.Attrs {
-			aidx[a.ID.Key()] = a
+		attrsChanged := false
+		aidx := map[string]int{}
+		for i, a := range out.Attrs {
+			aidx[a.Key()] = i
 		}
 		for _, da := range d.Attrs {
-			if ea, ok := ctx.find(aidx, da.ID); ok {
-				ctx.touch(ea)
+			if i, ok := ctx.findPos(aidx, da.ID); ok {
+				if da.Count == 0 && !da.Mod {
+					continue // a spine attr: nothing to add, nothing to modify
+				}
+				out = ctx.tx.Writable(out)
+				ea := ctx.tx.Writable(out.Attrs[i])
+				out.Attrs[i] = ea
 				ea.Count += da.Count
 				if da.Mod {
 					ea.Value = da.Value
@@ -225,37 +257,81 @@ func (ctx *applyCtx) merge(ex, d *xat.VNode) {
 					ea.Value = da.Value
 					ctx.st.Modified++
 				}
+				attrsChanged = true
 			} else {
+				out = ctx.tx.Writable(out)
 				cp := da.Clone()
-				ex.Attrs = append(ex.Attrs, cp)
-				aidx[cp.ID.Key()] = cp
+				ctx.tx.adopt(cp)
+				aidx[cp.Key()] = len(out.Attrs)
+				out.Attrs = append(out.Attrs, cp)
 				ctx.st.Inserted++
+				attrsChanged = true
 			}
 		}
-		for _, a := range ex.Attrs {
-			if a.Count <= 0 {
-				ctx.dirty[ex] = true
-				break
+		if attrsChanged {
+			for _, a := range out.Attrs {
+				if a.Count <= 0 {
+					ctx.dirty[out] = true
+					break
+				}
 			}
 		}
 	}
 	if len(d.Children) > 0 {
-		cidx := childIndex(ex)
+		// The index is read (and lazily built) on the shared node when no
+		// change promoted it yet; a later promotion adopts the same map, so
+		// cidx stays the live index either way.
+		cidx := childIndex(out)
 		for _, dc := range d.Children {
 			if ec, ok := ctx.find(cidx, dc.ID); ok {
-				ctx.merge(ec, dc)
-				if ec.Count <= 0 {
-					ctx.dirty[ex] = true
+				nc := ctx.merge(ec, dc)
+				if nc != ec {
+					out = ctx.tx.Writable(out)
+					replaceChild(out, ec, nc)
+					cidx[nc.Key()] = nc
+				}
+				// Checked even when this delta changed nothing: an earlier
+				// delta of the same batch may have zeroed the child's count,
+				// and pruning needs the parent dirty (and writable).
+				if nc.Count <= 0 {
+					out = ctx.tx.Writable(out)
+					ctx.dirty[out] = true
 				}
 				continue
 			}
+			out = ctx.tx.Writable(out)
 			cp := dc.Clone()
-			insertOrdered(ex, cp)
-			cidx[cp.ID.Key()] = cp
+			ctx.tx.adopt(cp)
+			insertOrdered(out, cp)
+			cidx[cp.Key()] = cp
 			ctx.st.Inserted++
 			if cp.Count <= 0 {
-				ctx.dirty[ex] = true
+				ctx.dirty[out] = true
 			}
+		}
+	}
+	return out
+}
+
+// replaceChild swaps new in for old among parent's children. Children are
+// kept sorted by order key, so the position is found by binary search on
+// old's order, scanning an equal-order run for the exact pointer (with a
+// full-scan fallback that tolerates an unsorted slice).
+func replaceChild(parent, old, new *xat.VNode) {
+	cs := parent.Children
+	i := sort.Search(len(cs), func(i int) bool {
+		return xat.CompareOrd(cs[i].ID.Order(), old.ID.Order()) >= 0
+	})
+	for ; i < len(cs); i++ {
+		if cs[i] == old {
+			cs[i] = new
+			return
+		}
+	}
+	for i := range cs {
+		if cs[i] == old {
+			cs[i] = new
+			return
 		}
 	}
 }
@@ -268,7 +344,7 @@ func childIndex(n *xat.VNode) map[string]*xat.VNode {
 	if n.Index == nil {
 		n.Index = make(map[string]*xat.VNode, len(n.Children))
 		for _, c := range n.Children {
-			n.Index[c.ID.Key()] = c
+			n.Index[c.Key()] = c
 		}
 	}
 	return n.Index
@@ -297,7 +373,7 @@ func pruneChildren(n *xat.VNode, st *Stats) {
 		} else {
 			st.Removed++
 			if n.Index != nil {
-				delete(n.Index, c.ID.Key())
+				delete(n.Index, c.Key())
 			}
 		}
 	}

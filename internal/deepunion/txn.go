@@ -6,113 +6,169 @@ import (
 	"xqview/internal/xat"
 )
 
-// Txn records first-touch pre-images of every extent node an apply pass
-// mutates, so a failed maintenance round can restore the view extent
-// byte-identical to its pre-round shape. Only nodes that already existed in
-// the extent are recorded — delta subtrees cloned into the extent vanish on
-// their own when the parent's pre-round child slice is restored — so the log
-// is proportional to the delta's touch set, never to the extent.
+// Txn is the copy-on-write tracker of one apply pass. Instead of mutating
+// the live extent in place (the pre-MVCC design, which pre-imaged every
+// touched node so rollback could restore it), the apply phase leaves the
+// extent it was handed completely untouched: the first time a node would be
+// mutated, Writable hands back a round-private copy — shallow node copy,
+// private Attrs/Children slices, adopted child index — and the copy replaces
+// the original in its (already writable) parent. Untouched subtrees are
+// shared by pointer between the old and the new extent.
 //
-// The caller owns the root slice: ApplyTx must be handed a copy of the
-// extent's root slice (root-level append/compaction happens on that copy),
-// while the nodes behind it stay shared and are protected here.
+// This is what makes MVCC snapshot serving lock-free: a reader holding the
+// pre-round extent can keep serializing it for as long as it likes while
+// rounds commit behind it, because no round ever writes a published node's
+// serialized content. Commit is the caller swapping its extent pointer to
+// the returned roots; Rollback simply abandons the candidate copies. The
+// copy set is proportional to the delta's touch set, never to the extent.
+//
+// A non-selective delta can touch hundreds of extent nodes per round, so
+// the copies are batched: VNode copies carve out of per-round slabs and
+// their Attrs/Children slices out of per-round pointer arenas, amortizing
+// the heap traffic to a handful of allocations per round instead of a few
+// per touched node. The slabs are NOT recycled — committed copies become
+// the live extent and live as long as it does; Release only drops the
+// tracker's references so the pool never retains extent memory.
 type Txn struct {
-	saved map[*xat.VNode]savedNode
-	// alloc, when set, backs the pre-image slices with the round arena: the
-	// log dies with the round on commit, and Rollback promotes every slice
-	// it restores to the heap first (the arena is released right after).
-	alloc *xat.Alloc
+	// priv maps a node to its round-private writable form: original → copy
+	// for shared extent nodes, and copy → copy (self) for nodes already
+	// private to this round (copies made by Writable and roots of delta
+	// subtrees cloned into the extent), so one lookup answers both "was
+	// this copied before" and "is this already ours".
+	priv map[*xat.VNode]*xat.VNode
+	// copied counts shared extent nodes copied for writing (Touched).
+	copied int
+
+	// Current node slab and pointer arena, carved sequentially.
+	slab []xat.VNode
+	used int
+	refs []*xat.VNode
+	rpos int
 }
 
-// savedNode is the mutable portion of a VNode's pre-image. Slices are
-// copied at save time: merge appends through the live backing arrays and
-// prune compacts them in place, so an aliased header would see the round's
-// writes. The child index is not snapshotted — rollback drops it and the
-// deep union rebuilds it lazily from the restored children.
-type savedNode struct {
-	count    int
-	value    string
-	attrs    []*xat.VNode
-	children []*xat.VNode
-}
+// Slab sizing: nodes per VNode slab, pointers per ref arena, and the
+// largest slice copied out of the arena — bigger ones (a root's thousand
+// children) get their own exact allocation rather than burning most of a
+// fresh arena on one node.
+const (
+	slabNodes = 256
+	refArena  = 2048
+	refInline = 256
+)
 
-// txnPool recycles Txns (and their grown pre-image maps) across rounds: the
+// txnPool recycles Txns (and their grown priv maps) across rounds: the
 // touch set of a steady-state round has a stable size, so reusing the map's
 // buckets removes the per-round map regrowth entirely.
 var txnPool = sync.Pool{New: func() any {
-	return &Txn{saved: map[*xat.VNode]savedNode{}}
+	return &Txn{priv: map[*xat.VNode]*xat.VNode{}}
 }}
 
-// NewTxn returns an empty extent transaction, recycled when available.
+// NewTxn returns an empty copy-on-write tracker, recycled when available.
 // Callers hand it back with Release once the round is over.
 func NewTxn() *Txn {
 	return txnPool.Get().(*Txn)
 }
 
-// Release clears the log (keeping the map's buckets) and returns the Txn to
-// the recycler. Call only after commit or Rollback — a released Txn retains
-// no pre-images, so it can no longer restore anything.
+// Release clears the tracker (keeping the map's buckets, dropping the slab
+// references — committed copies are live extent memory now) and returns it
+// to the recycler. Call only after the round committed or rolled back.
 func (t *Txn) Release() {
 	if t == nil {
 		return
 	}
-	clear(t.saved)
-	t.alloc = nil
+	clear(t.priv)
+	t.copied = 0
+	t.slab, t.used = nil, 0
+	t.refs, t.rpos = nil, 0
 	txnPool.Put(t)
 }
 
-// SetAlloc lends the round arena to the transaction for its pre-image log.
-// Must be called before the first touch; the arena must stay live until
-// after commit or Rollback.
-func (t *Txn) SetAlloc(a *xat.Alloc) { t.alloc = a }
-
-// touch saves n's pre-image on first touch.
-func (t *Txn) touch(n *xat.VNode) {
-	if _, ok := t.saved[n]; ok {
-		return
+// Writable returns the round-private node to mutate in place of n: n itself
+// when it is already private to this round, the existing copy when n was
+// touched before, and a fresh copy otherwise. The caller must splice a
+// fresh copy into its parent's (writable) child or attribute slice — the
+// shared original keeps its place in the pre-round extent.
+//
+// The copy adopts the original's child index rather than cloning it (the
+// original keeps none): readers never consult the index — it is maintenance
+// state, not serialized content — and the apply pass keeps it consistent on
+// the copy, so the index persists across rounds without a per-round
+// O(fan-out) clone. A rolled-back round leaves its touched live nodes
+// index-less; the next successful round rebuilds them lazily, exactly as
+// the in-place design's rollback did.
+func (t *Txn) Writable(n *xat.VNode) *xat.VNode {
+	if t == nil {
+		return n
 	}
-	t.saved[n] = savedNode{
-		count:    n.Count,
-		value:    n.Value,
-		attrs:    t.alloc.CopyVNodes(n.Attrs),
-		children: t.alloc.CopyVNodes(n.Children),
+	if cp, ok := t.priv[n]; ok {
+		return cp
+	}
+	cp := t.node()
+	*cp = *n
+	cp.Attrs = t.copyRefs(n.Attrs)
+	cp.Children = t.copyRefs(n.Children)
+	cp.Index = n.Index
+	n.Index = nil
+	t.priv[n] = cp
+	t.priv[cp] = cp
+	t.copied++
+	return cp
+}
+
+// adopt marks a node built this round (a cloned delta subtree root) as
+// already private, so later deltas of the same batch mutate it directly.
+func (t *Txn) adopt(n *xat.VNode) {
+	if t != nil {
+		t.priv[n] = n
 	}
 }
 
-// Touched returns how many extent nodes have pre-images recorded.
-func (t *Txn) Touched() int { return len(t.saved) }
-
-// Rollback restores every touched node in place and clears the log,
-// returning the number of nodes restored. Restoring in place means pointers
-// into the extent held elsewhere (root slices, child indexes of untouched
-// parents) see the pre-round contents again.
-func (t *Txn) Rollback() int {
-	n := 0
-	for node, e := range t.saved {
-		node.Count = e.count
-		node.Value = e.value
-		if t.alloc != nil {
-			// The pre-image slices live in the round arena, which the owner
-			// releases right after this rollback — promote what we restore.
-			node.Attrs = heapVNodes(e.attrs)
-			node.Children = heapVNodes(e.children)
-		} else {
-			node.Attrs = e.attrs
-			node.Children = e.children
-		}
-		// The round's merges mutated the child index in place; dropping it
-		// restores consistency, and the deep union rebuilds it on next use.
-		node.Index = nil
-		n++
+// node carves one VNode out of the current slab.
+func (t *Txn) node() *xat.VNode {
+	if t.used == len(t.slab) {
+		t.slab = make([]xat.VNode, slabNodes)
+		t.used = 0
 	}
-	clear(t.saved)
-	return n
+	cp := &t.slab[t.used]
+	t.used++
+	return cp
 }
 
-// heapVNodes copies an arena-backed pointer slice to the heap.
-func heapVNodes(s []*xat.VNode) []*xat.VNode {
-	if s == nil {
+// copyRefs returns a private copy of a node-pointer slice (nil for empty:
+// the apply phase treats nil and empty identically). Small slices carve out
+// of the round's pointer arena with capacity clamped to length, so a later
+// append (insertOrdered growing a child list) reallocates instead of
+// scribbling over a neighbor's region.
+func (t *Txn) copyRefs(s []*xat.VNode) []*xat.VNode {
+	n := len(s)
+	if n == 0 {
 		return nil
 	}
-	return append([]*xat.VNode(nil), s...)
+	if n > refInline {
+		return append([]*xat.VNode(nil), s...)
+	}
+	if t.rpos+n > len(t.refs) {
+		t.refs = make([]*xat.VNode, refArena)
+		t.rpos = 0
+	}
+	dst := t.refs[t.rpos : t.rpos+n : t.rpos+n]
+	t.rpos += n
+	copy(dst, s)
+	return dst
+}
+
+// Touched returns how many shared extent nodes were copied for writing.
+func (t *Txn) Touched() int { return t.copied }
+
+// Rollback abandons the round's candidate copies and clears the tracker,
+// returning how many were dropped. The extent the pass started from was
+// never written, so there is nothing to restore — abandoning the copies IS
+// the rollback.
+func (t *Txn) Rollback() int {
+	n := t.copied
+	clear(t.priv)
+	t.copied = 0
+	t.slab, t.used = nil, 0
+	t.refs, t.rpos = nil, 0
+	return n
 }

@@ -76,6 +76,15 @@ type RoundSample struct {
 	ArenaBytes  int64 `json:"arena_bytes"`
 	ArenaChunks int32 `json:"arena_chunks"`
 
+	// MVCC snapshot state at the round's pointer swap: the epoch this round
+	// published (0 when no registry is attached), retired versions still
+	// awaiting reader drain, reader handles out at publish time, and the
+	// published store snapshot's overlay-chain depth.
+	SnapEpoch   int64 `json:"snap_epoch,omitempty"`
+	SnapRetired int32 `json:"snap_retired,omitempty"`
+	SnapReaders int32 `json:"snap_readers,omitempty"`
+	SnapDepth   int32 `json:"snap_depth,omitempty"`
+
 	// HeapAllocs counts heap objects allocated during the round (from
 	// runtime/metrics), the live allocs/op signal.
 	HeapAllocs int64 `json:"heap_allocs"`
@@ -203,7 +212,11 @@ type RoundsPayload struct {
 // HistogramOf get-or-creates, so a registry where maintenance never ran
 // reports zeros rather than erroring.
 func quantileOf(r *Registry, name, help string, labels ...string) PhaseQuantiles {
-	h := r.HistogramOf(name, help, labels...)
+	return histQuantiles(r.HistogramOf(name, help, labels...))
+}
+
+// histQuantiles reads one histogram's quantile triple.
+func histQuantiles(h *Histogram) PhaseQuantiles {
 	return PhaseQuantiles{
 		P50: h.Quantile(0.50).Seconds(),
 		P95: h.Quantile(0.95).Seconds(),
@@ -215,6 +228,14 @@ func quantileOf(r *Registry, name, help string, labels ...string) PhaseQuantiles
 // phaseHelp matches the registration at the core recording site, so the
 // payload builder resolves the same series instead of forking the family.
 const phaseHelp = "VPA phase latency per maintenance run"
+
+// ReadSeconds resolves the snapshot read-latency histogram in r. The
+// recording sites (the serving command's HTTP read endpoints and reader
+// pool) and the payload builder share this one registration, so the "read"
+// quantile row always reflects what the readers actually observed.
+func ReadSeconds(r *Registry) *Histogram {
+	return r.HistogramOf("xqview_read_seconds", "snapshot read latency (acquire + serve + release)")
+}
 
 // BuildRoundsPayload assembles the /stats/rounds payload from a registry
 // and a round series. extras, when non-nil, is invoked per build so the
@@ -235,6 +256,7 @@ func BuildRoundsPayload(r *Registry, rs *RoundSeries, extras func() map[string]a
 			"apply":     quantileOf(r, "xqview_phase_seconds", phaseHelp, "phase", "apply"),
 			"source":    quantileOf(r, "xqview_phase_seconds", phaseHelp, "phase", "source"),
 			"total":     quantileOf(r, "xqview_maintain_seconds", "end-to-end maintenance batch latency"),
+			"read":      histQuantiles(ReadSeconds(r)),
 		},
 		TraceDroppedEvents: cTraceDropped.Value(),
 	}

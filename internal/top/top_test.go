@@ -30,6 +30,7 @@ func fixtureFrame() Frame {
 			"apply":     q(0.000120, 0.000310, 0.000480, 42),
 			"source":    q(0.000004, 0.000009, 0.000012, 42),
 			"total":     q(0.001100, 0.002600, 0.003300, 42),
+			"read":      q(0.000015, 0.000055, 0.000090, 5150),
 		},
 		TraceDroppedEvents: 3,
 		Extras: map[string]any{
@@ -66,6 +67,10 @@ func fixtureFrame() Frame {
 			ArenaBytes:   int64(40_960 + i*4_096),
 			ArenaChunks:  int32(3 + i%2),
 			HeapAllocs:   int64(5_500 + i*11),
+			SnapEpoch:    int64(31 + i),
+			SnapRetired:  int32(i % 3),
+			SnapReaders:  int32(4 + i%2),
+			SnapDepth:    int32(1 + i%4),
 		}
 		if i == 6 {
 			s.Aborted = true
@@ -147,6 +152,8 @@ func TestRenderContent(t *testing.T) {
 		"#42", // last round's sequence
 		"shared  groups 2  fanout 6  saved 4",
 		"window shared hit-rate",
+		"snap    epoch 42  depth 4  retired 2  readers 5",
+		"read p50 15.0µs p99 90.0µs (5150)",
 		"journal 12/256 (dropped 2)",
 		"aborted rounds",
 		"#37", // the window's aborted round

@@ -179,9 +179,8 @@ func (a *Alloc) vnode(v VNode) *VNode {
 	return n
 }
 
-// MakeVNodeRefs returns a view-node pointer slice of length n, capacity c.
-// Exported because the deep-union extent transaction borrows the round
-// arena for its pre-image log (see deepunion.Txn.SetAlloc).
+// MakeVNodeRefs returns a view-node pointer slice of length n, capacity c,
+// for arena-backed delta-tree construction.
 func (a *Alloc) MakeVNodeRefs(n, c int) []*VNode {
 	if a == nil {
 		if c < n {

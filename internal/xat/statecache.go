@@ -358,6 +358,77 @@ func (c *StateCache) Fingerprint() string {
 	return b.String()
 }
 
+// CacheSnap is an immutable read-only view of a StateCache as of one
+// published version. It captures the entries map by reference, which is
+// safe to read without synchronization forever after: installed entries
+// maps are never written again — Install and Invalidate swap in fresh maps,
+// Prepare builds new cacheEntry values for folded tables, and tables are
+// immutable — so the snapshot keeps describing exactly the round it was
+// taken at while the live cache moves on.
+type CacheSnap struct {
+	entries map[int]*cacheEntry
+	stats   CacheStats
+}
+
+// SnapshotView captures the cache state a successful Install of p would
+// publish (or the current state when p is nil), without touching the live
+// cache. Taking the view from the PreparedCommit is what lets a round build
+// its candidate version BEFORE the infallible install: the snapshot and the
+// install then can't diverge. Works on a nil cache (empty view).
+func (c *StateCache) SnapshotView(p *PreparedCommit) *CacheSnap {
+	s := &CacheSnap{}
+	if c != nil {
+		s.stats = c.stats
+	}
+	switch {
+	case p != nil:
+		s.entries = p.entries
+		s.stats.Folds += p.folds
+		s.stats.Evictions += p.evictions
+	case c != nil:
+		s.entries = c.entries
+	}
+	s.stats.Entries = len(s.entries)
+	return s
+}
+
+// Len returns how many tables the snapshot holds.
+func (s *CacheSnap) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
+}
+
+// Stats returns the cache counters as of the snapshot's version.
+func (s *CacheSnap) Stats() CacheStats {
+	if s == nil {
+		return CacheStats{}
+	}
+	return s.stats
+}
+
+// Fingerprint renders the snapshot's entries in StateCache.Fingerprint's
+// format, so tests can compare a version's cache view against a live cache
+// byte for byte.
+func (s *CacheSnap) Fingerprint() string {
+	if s == nil {
+		return "entries=0\n"
+	}
+	ids := make([]int, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		e := s.entries[id]
+		fmt.Fprintf(&b, "op %d docs=%s\n%s", id, strings.Join(e.docs, ","), e.tbl.String())
+	}
+	fmt.Fprintf(&b, "entries=%d\n", len(s.entries))
+	return b.String()
+}
+
 // Invalidate drops every held table and all staging.
 func (c *StateCache) Invalidate() {
 	if c == nil {

@@ -28,6 +28,23 @@ type VNode struct {
 	// consistent by the deep union (the only code that mutates materialized
 	// extents); everything else must leave it nil.
 	Index map[string]*VNode
+
+	// key memoizes ID.Key(). Filled lazily by Key(), inherited by shallow
+	// copies (the ID is immutable once the node enters an extent). Only the
+	// deep union — the single writer of a view's extent — reads or writes
+	// it; serialization never touches it.
+	key string
+}
+
+// Key returns ID.Key(), computing it once and reusing the string on every
+// later call. The deep union keys child and attribute indexes with it, so
+// steady-state maintenance rounds re-key touched nodes without
+// re-materializing the string.
+func (n *VNode) Key() string {
+	if n.key == "" {
+		n.key = n.ID.Key()
+	}
+	return n.key
 }
 
 // MaterializeResult dereferences the result column of the final table (the

@@ -1,0 +1,163 @@
+package xmldoc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotImmutableAcrossRounds pins the MVCC store contract: a snapshot
+// taken before a round of mutations keeps reading the pre-round state
+// byte-identically, while Extend with the round's delta reads the post-round
+// state byte-identically — both verified against live-store dumps.
+func TestSnapshotImmutableAcrossRounds(t *testing.T) {
+	s := undoTestStore(t)
+	pre := s.DumpPrefix()
+	snap0 := SnapOf(s)
+	if got := snap0.DebugDump(); got != pre {
+		t.Fatalf("fresh snapshot diverges from store:\n%s\nvs\n%s", pre, got)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	s.BeginUndo()
+	for i := 0; i < 8; i++ {
+		mutate(t, s, rng, i)
+	}
+	delta := s.BuildDelta()
+	if delta == nil || delta.Empty() {
+		t.Fatal("round touched nothing; test exercises nothing")
+	}
+	s.CommitUndo()
+	post := s.DumpPrefix()
+	if post == pre {
+		t.Fatal("mutations were a no-op")
+	}
+
+	if got := snap0.DebugDump(); got != pre {
+		t.Fatalf("pre-round snapshot changed under mutation:\n--- want ---\n%s--- got ---\n%s", pre, got)
+	}
+	snap1 := snap0.Extend(delta)
+	if got := snap1.DebugDump(); got != post {
+		t.Fatalf("extended snapshot diverges from post-round store:\n--- want ---\n%s--- got ---\n%s", post, got)
+	}
+	// And the old snapshot is still untouched after Extend.
+	if got := snap0.DebugDump(); got != pre {
+		t.Fatal("Extend mutated the base snapshot")
+	}
+}
+
+// TestSnapshotDeltaCopiesNotAliases verifies a delta holds private copies:
+// later in-place store mutations (ReplaceText writes through the shared
+// *Node) must not bleed into an already-built delta.
+func TestSnapshotDeltaCopiesNotAliases(t *testing.T) {
+	s := undoTestStore(t)
+	snap0 := SnapOf(s)
+	root, _ := s.RootElem("a.xml")
+	texts := s.Children(s.Children(root)[0])
+	textKey := s.Children(texts[0])[0]
+
+	s.BeginUndo()
+	if err := s.ReplaceText(textKey, "round1"); err != nil {
+		t.Fatal(err)
+	}
+	delta := s.BuildDelta()
+	s.CommitUndo()
+	snap1 := snap0.Extend(delta)
+
+	// Mutate the same node again WITHOUT undo: the live store moves on.
+	if err := s.ReplaceText(textKey, "round2"); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := snap1.Node(textKey)
+	if !ok || n.Value != "round1" {
+		t.Fatalf("snapshot node aliased live store: got %q want %q", n.Value, "round1")
+	}
+}
+
+// TestSnapshotChainFlattens runs more rounds than maxDeltaChain and asserts
+// the chain depth stays bounded while the newest snapshot still reads the
+// live state byte-identically and old handles keep their frames.
+func TestSnapshotChainFlattens(t *testing.T) {
+	s := undoTestStore(t)
+	snap := SnapOf(s)
+	rng := rand.New(rand.NewSource(11))
+	frames := []string{s.DumpPrefix()}
+	snaps := []*Snap{snap}
+	const rounds = 3*maxDeltaChain + 5
+	for i := 0; i < rounds; i++ {
+		s.BeginUndo()
+		mutate(t, s, rng, i)
+		d := s.BuildDelta()
+		s.CommitUndo()
+		snap = snap.Extend(d)
+		if snap.Depth() > maxDeltaChain {
+			t.Fatalf("round %d: chain depth %d exceeds bound %d", i, snap.Depth(), maxDeltaChain)
+		}
+		frames = append(frames, s.DumpPrefix())
+		snaps = append(snaps, snap)
+	}
+	if got := snap.DebugDump(); got != frames[len(frames)-1] {
+		t.Fatalf("final snapshot diverges from live store:\n--- want ---\n%s--- got ---\n%s",
+			frames[len(frames)-1], got)
+	}
+	// Spot-check a handful of historical handles, including ones taken
+	// before and after flattening kicked in.
+	for _, i := range []int{0, 1, maxDeltaChain, maxDeltaChain + 1, 2 * maxDeltaChain, rounds} {
+		if got := snaps[i].DebugDump(); got != frames[i] {
+			t.Fatalf("snapshot %d lost its frame:\n--- want ---\n%s--- got ---\n%s", i, frames[i], got)
+		}
+	}
+}
+
+// TestSnapshotEmptyDeltaSharesHandle pins the no-op optimization: extending
+// with an empty delta returns the same immutable snapshot.
+func TestSnapshotEmptyDeltaSharesHandle(t *testing.T) {
+	s := undoTestStore(t)
+	snap := SnapOf(s)
+	s.BeginUndo()
+	d := s.BuildDelta()
+	s.CommitUndo()
+	if d == nil {
+		t.Fatal("BuildDelta under active undo returned nil")
+	}
+	if !d.Empty() {
+		t.Fatalf("no mutations but delta masks %d keys", d.Len())
+	}
+	if got := snap.Extend(d); got != snap {
+		t.Fatal("empty delta produced a new snapshot")
+	}
+	if snap.Extend(nil) != snap {
+		t.Fatal("nil delta produced a new snapshot")
+	}
+	if s.BuildDelta() != nil {
+		t.Fatal("BuildDelta without active undo must return nil")
+	}
+}
+
+// TestSnapshotDocLifecycle covers document-level delta entries: a document
+// loaded mid-stream appears only in snapshots extended past its round, and
+// deleting a subtree masks the keys for newer snapshots only.
+func TestSnapshotDocLifecycle(t *testing.T) {
+	s := undoTestStore(t)
+	snap0 := SnapOf(s)
+
+	s.BeginUndo()
+	if _, err := s.Load("new.xml", `<n><m>x</m></n>`); err != nil {
+		t.Fatal(err)
+	}
+	d := s.BuildDelta()
+	s.CommitUndo()
+	snap1 := snap0.Extend(d)
+
+	if _, ok := snap0.Root("new.xml"); ok {
+		t.Fatal("pre-load snapshot sees the new document")
+	}
+	if _, ok := snap1.Root("new.xml"); !ok {
+		t.Fatal("post-load snapshot misses the new document")
+	}
+	if got, want := len(snap1.Docs()), len(snap0.Docs())+1; got != want {
+		t.Fatalf("Docs: got %d want %d", got, want)
+	}
+	if got := snap1.DebugDump(); got != s.DumpPrefix() {
+		t.Fatalf("post-load snapshot diverges:\n--- want ---\n%s--- got ---\n%s", s.DumpPrefix(), got)
+	}
+}

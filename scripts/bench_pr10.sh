@@ -1,0 +1,101 @@
+#!/bin/sh
+# bench_pr10.sh — capture the PR 10 MVCC snapshot-serving benchmarks into
+# BENCH_PR10.json. BenchmarkServeMixed is the headline figure: snapshot
+# read latency (acquire + serialize + release) idle vs with a paced writer
+# committing maintenance rounds concurrently, with per-op p50/p99 reported
+# as custom metrics; check.sh gates the rounds=on p99 to ≤2x the rounds=off
+# p99. The maintenance arms (BenchmarkMaintainCached, -Transactional,
+# -SharedViews) re-run under the same names as BENCH_PR10_BASE.json — the
+# pre-PR10 tree benchmarked on the SAME machine — so scripts/bench_diff.sh
+# and scripts/allocs_diff.sh can hold the pair to parity: those benches
+# drive core.MaintainAll with no epoch registry attached, so the MVCC
+# machinery must not move them (3% ns/op noise margin, 5% allocs).
+#
+# Each benchmark runs -count times; the capture stores the per-name MEDIAN
+# plus the raw per-run ns/op samples, so scripts/bench_diff.sh can print
+# benchstat-style median ± spread instead of bare ratios.
+#
+# Usage: scripts/bench_pr10.sh [benchtime] [count]
+#   benchtime  go test -benchtime value (default 10x; ServeMixed quantiles
+#              want ops, so 2000x is used for it when benchtime is 10x)
+#   count      go test -count value (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-10x}"
+count="${2:-3}"
+servetime="$benchtime"
+if [ "$benchtime" = "10x" ]; then
+	# 10 iterations cannot resolve a p99; give the serving arms real samples.
+	servetime="2000x"
+fi
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMaintainSharedViews|BenchmarkMaintainCached|BenchmarkMaintainTransactional' \
+	-benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
+go test -run '^$' -bench 'BenchmarkServeMixed' \
+	-benchmem -benchtime "$servetime" -count "$count" . | tee -a "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "pr": 10,\n'
+	printf '  "benchmark": "BenchmarkServeMixed+BenchmarkMaintainSharedViews+BenchmarkMaintainCached+BenchmarkMaintainTransactional",\n'
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "servetime": "%s",\n' "$servetime"
+	printf '  "count": %s,\n' "$count"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "goos_goarch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+	printf '  "results": [\n'
+	awk '
+		function median(vals, name, n,    i, j, tmp, a) {
+			for (i = 1; i <= n; i++) a[i] = vals[name, i]
+			for (i = 2; i <= n; i++)
+				for (j = i; j > 1 && a[j-1] > a[j]; j--) {
+					tmp = a[j]; a[j] = a[j-1]; a[j-1] = tmp
+				}
+			if (n % 2) return a[(n + 1) / 2]
+			return (a[n / 2] + a[n / 2 + 1]) / 2
+		}
+		/^Benchmark(ServeMixed|MaintainSharedViews|MaintainCached|MaintainTransactional)/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (!(name in runs)) order[no++] = name
+			r = ++runs[name]
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns[name, r] = $i
+				else if ($(i+1) == "B/op") { bytes[name, r] = $i; hasb[name] = 1 }
+				else if ($(i+1) == "allocs/op") { allocs[name, r] = $i; hasa[name] = 1 }
+				else if ($(i+1) == "views_skipped/op") { skips[name, r] = $i; hass[name] = 1 }
+				else if ($(i+1) == "p50_ns") { p50[name, r] = $i; hasp[name] = 1 }
+				else if ($(i+1) == "p99_ns") { p99[name, r] = $i; hasp[name] = 1 }
+			}
+			iters[name] += $2
+		}
+		END {
+			for (j = 0; j < no; j++) {
+				name = order[j]; n = runs[name]
+				line = sprintf("    {\"name\": \"%s\", \"runs\": %d, \"iterations\": %d, \"ns_per_op\": %.0f", \
+					name, n, iters[name] / n, median(ns, name, n))
+				line = line ", \"ns_samples\": ["
+				for (i = 1; i <= n; i++)
+					line = line sprintf("%s%.0f", i > 1 ? ", " : "", ns[name, i])
+				line = line "]"
+				if (hasb[name]) line = line sprintf(", \"bytes_per_op\": %.0f", median(bytes, name, n))
+				if (hasa[name]) line = line sprintf(", \"allocs_per_op\": %.0f", median(allocs, name, n))
+				if (hass[name]) line = line sprintf(", \"views_skipped_per_op\": %.3f", median(skips, name, n))
+				if (hasp[name]) {
+					line = line sprintf(", \"p50_ns\": %.0f, \"p99_ns\": %.0f", \
+						median(p50, name, n), median(p99, name, n))
+				}
+				line = line "}"
+				if (j) printf(",\n")
+				printf("%s", line)
+			}
+			printf("\n")
+		}
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} > BENCH_PR10.json
+
+echo "wrote BENCH_PR10.json" >&2

@@ -1,0 +1,127 @@
+package xqview
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeMixed is the MVCC serving headline: per-operation snapshot
+// read latency (acquire + serialize the view + release) measured idle
+// (rounds=off) and with a writer goroutine committing maintenance rounds
+// continuously (rounds=on). Each read arm reports p50_ns/p99_ns custom
+// metrics from the per-op latency distribution; check.sh gates the
+// rounds=on p99 to ≤2x the rounds=off p99 — the lock-free-read claim in
+// one number. The maintain arm prices a round with a churning reader pool
+// attached, the writer-side half of the same story.
+func BenchmarkServeMixed(b *testing.B) {
+	const items = 64
+	// The rounds=on writer paces its commits (~300 rounds/s) instead of
+	// saturating the CPU: on the single-core bench machine a saturating
+	// writer queues back-to-back rounds and the reader tail measures the
+	// scheduler, not the snapshot path. A paced writer still guarantees
+	// reads overlap commits (a round is ~15% of each gap) while keeping the
+	// measurement about MVCC, matching a serving system where update
+	// batches arrive at some rate.
+	const roundGap = 2 * time.Millisecond
+	mkdb := func(b *testing.B) (*Database, string) {
+		db := NewDatabase()
+		var sb []byte
+		sb = append(sb, "<inv>"...)
+		for i := 0; i < items; i++ {
+			sb = append(sb, fmt.Sprintf(`<item id="%d"><qty>%d</qty></item>`, i, i%9+1)...)
+		}
+		sb = append(sb, "</inv>"...)
+		if err := db.LoadDocument("inv.xml", string(sb)); err != nil {
+			b.Fatal(err)
+		}
+		v, err := db.CreateView(`<qtys>{ for $i in doc("inv.xml")/inv/item return $i/qty }</qtys>`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db, v.Name()
+	}
+	roundScript := func(i int) string {
+		return fmt.Sprintf(`
+for $i in document("inv.xml")/inv/item where $i/@id = "%d" update $i
+replace $i/qty/text() with "%d"`, i%items, i%9+1)
+	}
+	readOp := func(db *Database, view string) {
+		snap := db.Snapshot()
+		if _, err := snap.ViewXML(view); err != nil {
+			panic(err) // reader goroutines have no *testing.B; cannot happen
+		}
+		snap.Release()
+	}
+	// measure runs b.N read ops, collecting per-op latency and reporting
+	// the distribution's p50/p99 alongside the usual ns/op.
+	measure := func(b *testing.B, db *Database, view string) {
+		lat := make([]time.Duration, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			readOp(db, view)
+			lat[i] = time.Since(t0)
+		}
+		b.StopTimer()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50_ns")
+		b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99_ns")
+	}
+
+	b.Run("read/rounds=off", func(b *testing.B) {
+		db, view := mkdb(b)
+		measure(b, db, view)
+	})
+
+	b.Run("read/rounds=on", func(b *testing.B) {
+		db, view := mkdb(b)
+		var stop atomic.Bool
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; !stop.Load(); i++ {
+				if _, err := db.ApplyUpdates(roundScript(i)); err != nil {
+					done <- err
+					return
+				}
+				time.Sleep(roundGap)
+			}
+			done <- nil
+		}()
+		measure(b, db, view)
+		stop.Store(true)
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("maintain/readers=4", func(b *testing.B) {
+		db, view := mkdb(b)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		const readers = 4
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					readOp(db, view)
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.ApplyUpdates(roundScript(i)); err != nil {
+				stop.Store(true)
+				wg.Wait()
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		stop.Store(true)
+		wg.Wait()
+	})
+}

@@ -36,8 +36,11 @@ import (
 )
 
 // Database is a collection of XML source documents plus the views defined
-// over them. All methods are safe for concurrent use: reads share the
-// database; updates and view creation take exclusive access.
+// over them. All methods are safe for concurrent use. Writes (updates, view
+// creation, document loads) take exclusive access; reads — Query,
+// DocumentXML, View.XML, Snapshot — serve from the published MVCC version
+// behind a single atomic pointer and never take the maintenance lock, so
+// they proceed undisturbed while maintenance rounds commit.
 type Database struct {
 	mu    sync.RWMutex
 	store *xmldoc.Store
@@ -45,6 +48,30 @@ type Database struct {
 	opts  core.Options
 	log   *obs.Logger
 	rec   *journal.StreamWriter
+
+	// snaps is the MVCC epoch registry: every committed maintenance round
+	// publishes the next immutable version into it (store snapshot, view
+	// extents, read-only cache views), and out-of-band mutations (document
+	// loads, view creation, recomputation) publish full captures. Readers
+	// acquire version handles lock-free through it.
+	snaps *core.SnapReg
+}
+
+// coreViews returns the registered views' core handles in registration
+// order. Callers hold db.mu.
+func (db *Database) coreViews() []*core.View {
+	views := make([]*core.View, len(db.views))
+	for i, v := range db.views {
+		views[i] = v.view
+	}
+	return views
+}
+
+// publishFull captures the live store and extents as a fresh version, for
+// the out-of-band mutation paths that have no round delta. Callers hold
+// db.mu exclusively.
+func (db *Database) publishFull() {
+	db.snaps.PublishFull(db.store, db.coreViews())
 }
 
 // rebuildSharedDAG regroups the registered views' plans into the shared
@@ -65,7 +92,10 @@ func (db *Database) rebuildSharedDAG() {
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{store: xmldoc.NewStore()}
+	db := &Database{store: xmldoc.NewStore(), snaps: core.NewSnapReg()}
+	db.opts.Snapshots = db.snaps
+	db.publishFull()
+	return db
 }
 
 // SetParallelism bounds how many views are maintained (or recomputed)
@@ -209,37 +239,37 @@ func (db *Database) LoadDocument(name, src string) error {
 		v.view.InvalidateCache()
 	}
 	db.rebuildSharedDAG()
+	// No undo log recorded this mutation, so there is no delta to extend the
+	// version chain with: publish a full capture.
+	db.publishFull()
 	return err
 }
 
-// DocumentXML serializes the current state of a document.
+// DocumentXML serializes a document as of the published version, without
+// taking the maintenance lock.
 func (db *Database) DocumentXML(name string) (string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	root, ok := db.store.Root(name)
-	if !ok {
-		return "", fmt.Errorf("xqview: document %q not loaded", name)
-	}
-	return xmldoc.Serialize(db.store, root), nil
+	snap := db.Snapshot()
+	defer snap.Release()
+	return snap.DocumentXML(name)
 }
 
-// Documents lists the loaded document names.
+// Documents lists the document names of the published version, without
+// taking the maintenance lock.
 func (db *Database) Documents() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.store.Docs()
+	snap := db.Snapshot()
+	defer snap.Release()
+	return snap.Documents()
 }
 
-// Query evaluates an XQuery expression once and returns the serialized
-// result (no materialization kept).
+// Query evaluates an XQuery expression once against the published version
+// and returns the serialized result (no materialization kept). It never
+// takes the maintenance lock: a concurrent maintenance round neither blocks
+// the query nor tears its input — the whole evaluation sees one immutable
+// snapshot.
 func (db *Database) Query(query string) (string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	v, err := core.NewView(db.store, query)
-	if err != nil {
-		return "", err
-	}
-	return v.XML(), nil
+	snap := db.Snapshot()
+	defer snap.Release()
+	return snap.Query(query)
 }
 
 // CreateView compiles the query, materializes its extent and registers the
@@ -256,6 +286,8 @@ func (db *Database) CreateView(query string) (*View, error) {
 	db.views = append(db.views, v)
 	// A new plan may overlap existing ones: regroup the shared DAG.
 	db.rebuildSharedDAG()
+	// Readers acquire the new view's frame from the next published version.
+	db.publishFull()
 	return v, nil
 }
 
@@ -282,23 +314,39 @@ func (v *View) SetName(name string) {
 	v.db.mu.Lock()
 	defer v.db.mu.Unlock()
 	v.view.Name = name
+	// Frames capture the name; republish so snapshot lookups see it.
+	v.db.publishFull()
 }
 
-// XML serializes the current materialized extent.
+// frame returns the view's frame in the published version, with a handle
+// held on the version. Reads are lock-free; the caller releases.
+func (v *View) frame() (*core.ViewFrame, *Snapshot) {
+	snap := v.db.Snapshot()
+	return snap.v.FrameOf(v.view), snap
+}
+
+// XML serializes the materialized extent as of the published version,
+// without taking the maintenance lock.
 func (v *View) XML() string {
-	v.db.mu.RLock()
-	defer v.db.mu.RUnlock()
-	return v.view.XML()
+	f, snap := v.frame()
+	defer snap.Release()
+	if f == nil {
+		return ""
+	}
+	return f.XML()
 }
 
-// XMLIndent serializes the current extent with indentation.
+// XMLIndent serializes the published extent with indentation.
 func (v *View) XMLIndent() string {
-	v.db.mu.RLock()
-	defer v.db.mu.RUnlock()
+	f, snap := v.frame()
+	defer snap.Release()
+	if f == nil {
+		return ""
+	}
 	var b strings.Builder
-	for _, r := range v.view.Extent {
-		if f := r.Frag(); f != nil {
-			b.WriteString(f.StringIndent("  "))
+	for _, r := range f.Extent {
+		if frag := r.Frag(); frag != nil {
+			b.WriteString(frag.StringIndent("  "))
 		}
 	}
 	return b.String()
@@ -315,7 +363,10 @@ func (v *View) SAPTString() string { return v.view.SAPT.Dump() }
 func (v *View) Recompute() error {
 	v.db.mu.Lock()
 	defer v.db.mu.Unlock()
-	return v.view.Materialize()
+	err := v.view.Materialize()
+	// The extent changed outside a round: publish a full capture.
+	v.db.publishFull()
+	return err
 }
 
 // SelfMaintainable reports whether the view is maintainable purely from the
